@@ -1,0 +1,25 @@
+"""A6 — ablation: the paper's method vs the baseline detectors."""
+
+from conftest import run_once
+
+from repro.experiments import baseline_comparison
+
+
+def test_baseline_comparison(benchmark):
+    result = run_once(benchmark, lambda: baseline_comparison(n_days=14))
+    print("\n" + result.render())
+    rows = {row[0]: row for row in result.rows}
+
+    # Range checking is blind to the in-range attacks (§4.2's point).
+    assert rows["deletion"][1] == "blind"
+    assert rows["creation"][1] == "blind"
+
+    # The paper's method types every scenario correctly.
+    assert "stuck_at" in rows["stuck-at"][5]
+    assert "deletion" in rows["deletion"][5]
+    assert "creation" in rows["creation"][5]
+
+    # The majority-vote baseline detects culprits but offers no type —
+    # its column is a sensor list, never a §3.3 label.
+    for label in ("stuck-at", "deletion", "creation"):
+        assert "flags" in rows[label][2]

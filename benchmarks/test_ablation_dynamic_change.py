@@ -1,0 +1,19 @@
+"""A7 — ablation: Dynamic Change classification (left branch of Fig. 5)."""
+
+from conftest import BENCH_DAYS, run_once
+
+from repro.core.classification import AnomalyType
+from repro.experiments import cached_scenario, dynamic_change_study
+
+
+def test_dynamic_change_study(benchmark):
+    result = run_once(benchmark, lambda: dynamic_change_study(n_days=14))
+    print("\n" + result.render())
+    assert "change" in result.title
+
+    run = cached_scenario("change", n_days=BENCH_DAYS)
+    diagnosis = run.pipeline.system_diagnosis()
+    assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_CHANGE
+    # At least two of the remapped states were caught with attribute
+    # displacement in every dimension.
+    assert len(result.rows) >= 2

@@ -1,0 +1,19 @@
+"""A9 — ablation: the paper's estimator vs general online EM ([10])."""
+
+from conftest import run_once
+
+from repro.experiments import estimator_comparison
+
+
+def test_estimator_comparison(benchmark):
+    result = run_once(benchmark, lambda: estimator_comparison(n_days=10))
+    print("\n" + result.render())
+    masses = {row[0]: float(row[2]) for row in result.rows}
+    paper = masses["paper (redundancy-aware)"]
+    general = masses["general online EM [10]"]
+    # The paper's §2 argument, quantified: exposing the hidden state via
+    # redundancy yields an (almost) perfect state correspondence, while
+    # blind online EM over the same data recovers far less structure —
+    # even scored with a best-case state assignment.
+    assert paper > 0.95
+    assert paper > general + 0.2

@@ -1,0 +1,19 @@
+"""A4 — ablation: alarm filter comparison (k-of-n vs SPRT vs CUSUM)."""
+
+from conftest import run_once
+
+from repro.experiments import filter_comparison
+
+
+def test_filter_comparison(benchmark):
+    result = run_once(benchmark, lambda: filter_comparison(n_days=14))
+    print("\n" + result.render())
+    detected = {row[0]: row[1] for row in result.rows}
+    latencies = {row[0]: row[2] for row in result.rows}
+    false_tracks = {row[0]: row[3] for row in result.rows}
+    # Every filter must detect a hard stuck-at fault...
+    assert all(v == "yes" for v in detected.values())
+    # ...within a handful of windows of its onset...
+    assert all(0 <= lat <= 12 for lat in latencies.values())
+    # ...without tracking more than a stray healthy sensor.
+    assert all(n <= 1 for n in false_tracks.values())

@@ -1,0 +1,17 @@
+"""A2 — ablation: the model-state learning factor alpha (Eq. 6)."""
+
+from conftest import run_once
+
+from repro.experiments import learning_factor_sweep
+
+
+def test_learning_factor_sweep(benchmark):
+    result = run_once(benchmark, lambda: learning_factor_sweep(n_days=10))
+    print("\n" + result.render())
+    # Every alpha in a sane range must keep the clean run clean: a small
+    # number of model states and no (or almost no) spurious tracks.
+    for row in result.rows:
+        n_states = row[1]
+        tracks = row[3]
+        assert n_states <= 10
+        assert tracks <= 2

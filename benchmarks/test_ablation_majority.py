@@ -1,0 +1,23 @@
+"""A3 — ablation: the majority assumption's breaking point.
+
+The paper assumes "a majority of sensors have not been compromised
+(yet)".  This sweep raises the compromised fraction under a Dynamic
+Deletion until the attack wins the majority and the methodology's view
+inverts — the expected failure mode, reproduced on purpose.
+"""
+
+from conftest import run_once
+
+from repro.experiments import compromised_fraction_sweep
+
+
+def test_compromised_fraction_sweep(benchmark):
+    result = run_once(benchmark, lambda: compromised_fraction_sweep(n_days=14))
+    print("\n" + result.render())
+    verdicts = {row[0]: row[2] for row in result.rows}
+    # With a clear minority compromised the deletion is classified.
+    assert verdicts["0.3"] == "deletion"
+    assert verdicts["0.4"] == "deletion"
+    # Beyond majority the attack controls the "correct" view: the
+    # deletion signature disappears (the paper's stated limit).
+    assert verdicts["0.6"] != "deletion"

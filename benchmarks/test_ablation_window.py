@@ -1,0 +1,19 @@
+"""A1 — ablation: observation window size w (Table 1 discussion)."""
+
+from conftest import run_once
+
+from repro.experiments import window_size_sweep
+
+
+def test_window_size_sweep(benchmark):
+    result = run_once(benchmark, lambda: window_size_sweep(n_days=10))
+    print("\n" + result.render())
+    rows = {row[0]: row for row in result.rows}
+    # The paper chose w=12 (one hour): enough readings for statistical
+    # significance.  Very small windows are noisier (more false tracks
+    # or alarms); very large windows smear the diurnal dynamics into
+    # fewer model states.
+    assert set(rows) == {6, 12, 24, 48}
+    paper_states = rows[12][2]
+    assert 3 <= paper_states <= 7
+    assert rows[48][2] <= paper_states + 1

@@ -1,0 +1,74 @@
+"""E1 — extension: the §6 cluster-monitoring scenario end to end.
+
+The paper's conclusions propose applying the methodology to "a large
+cluster of machines dedicated to running an e-commerce application";
+this benchmark runs that extension with the unchanged pipeline.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.clusters import (
+    cryptominer_campaign,
+    dashboard_deletion_campaign,
+    memory_leak_campaign,
+    run_cluster_scenario,
+)
+from repro.core.classification import AnomalyType
+
+
+def test_cluster_monitoring_extension(benchmark):
+    def run_all():
+        return {
+            "memory-leak": run_cluster_scenario(
+                n_days=6, campaign=memory_leak_campaign()
+            ),
+            "cryptominer": run_cluster_scenario(
+                n_days=6, campaign=cryptominer_campaign()
+            ),
+            "dashboard-deletion": run_cluster_scenario(
+                n_days=6, campaign=dashboard_deletion_campaign()
+            ),
+        }
+
+    runs = run_once(benchmark, run_all)
+
+    rows = []
+    for name, run in runs.items():
+        pipeline = run.pipeline
+        tracked = sorted({t.sensor_id for t in pipeline.tracks.tracks})
+        diagnoses = sorted(
+            {d.anomaly_type.value for d in pipeline.diagnose_all().values()}
+        )
+        rows.append(
+            (
+                name,
+                str(sorted(run.ground_truth)),
+                str(tracked),
+                pipeline.system_diagnosis().anomaly_type.value,
+                ", ".join(diagnoses) or "none",
+            )
+        )
+    print(
+        "\n"
+        + render_table(
+            ("incident", "truth replicas", "tracked", "system", "diagnoses"),
+            rows,
+            title="Extension E1 — e-commerce cluster monitoring (§6)",
+        )
+    )
+
+    leak = runs["memory-leak"]
+    assert leak.pipeline.diagnose_sensor(4).anomaly_type is AnomalyType.STUCK_AT
+
+    miner = runs["cryptominer"]
+    assert 7 in {t.sensor_id for t in miner.pipeline.tracks.tracks}
+
+    deletion = runs["dashboard-deletion"]
+    assert (
+        deletion.pipeline.system_diagnosis().anomaly_type
+        is AnomalyType.DYNAMIC_DELETION
+    )
+    truth = set(deletion.campaign.malicious_sensor_ids())
+    tracked = {t.sensor_id for t in deletion.pipeline.tracks.tracks}
+    assert truth <= tracked

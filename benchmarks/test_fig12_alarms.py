@@ -1,0 +1,18 @@
+"""F12 — Figure 12: raw alarms for a faulty vs a non-faulty node."""
+
+from conftest import BENCH_DAYS, run_once
+
+from repro.experiments import cached_scenario, figure12
+
+
+def test_figure12_raw_alarm_streams(benchmark):
+    run = cached_scenario("faulty", n_days=BENCH_DAYS)
+    result = run_once(
+        benchmark, lambda: figure12(run, faulty_sensor=6, healthy_sensor=9)
+    )
+    print("\n" + result.render())
+    # Paper: the healthy node shows ~1.5% noisy raw alarms, the faulty
+    # node alarms almost continuously once the fault manifests.
+    assert result.healthy_rate < 0.05
+    assert result.faulty_rate > 0.5
+    assert result.faulty_rate > 10 * max(result.healthy_rate, 1e-6)

@@ -1,0 +1,18 @@
+"""F6 — Figure 6: temperature/humidity variation over one day (July 9)."""
+
+from conftest import BENCH_DAYS, run_once
+
+from repro.experiments import cached_scenario, figure6
+
+
+def test_figure6_diurnal_variation(benchmark):
+    run = cached_scenario("clean", n_days=BENCH_DAYS)
+    result = run_once(benchmark, lambda: figure6(run, day_index=8))
+    print("\n" + result.render())
+    # Paper shape: temperature and humidity "change continuously during
+    # the day", strongly anti-correlated, with a wide diurnal swing.
+    low, high = result.temperature_range
+    assert high - low > 10.0
+    hum_low, hum_high = result.humidity_range
+    assert hum_high - hum_low > 15.0
+    assert result.anticorrelation() < -0.9

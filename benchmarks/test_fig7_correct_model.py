@@ -1,0 +1,21 @@
+"""F7 — Figure 7: the correct Markov model M_C of the environment."""
+
+from conftest import BENCH_DAYS, run_once
+
+from repro.experiments import cached_scenario, figure7
+
+
+def test_figure7_correct_markov_model(benchmark):
+    run = cached_scenario("clean", n_days=BENCH_DAYS)
+    result = run_once(benchmark, lambda: figure7(run))
+    print("\n" + result.render())
+    states = result.main_states
+    # Paper: four main states (12,94), (17,84), (24,70), (31,56) on the
+    # cold-humid -> hot-dry diagonal.
+    assert 3 <= len(states) <= 6
+    assert states[0][0] < 18 and states[0][1] > 80  # cold & humid
+    assert states[-1][0] > 27 and states[-1][1] < 70  # hot & dry
+    temps = [s[0] for s in states]
+    hums = [s[1] for s in states]
+    assert temps == sorted(temps)
+    assert hums == sorted(hums, reverse=True)

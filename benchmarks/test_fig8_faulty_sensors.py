@@ -1,0 +1,16 @@
+"""F8 — Figure 8: humidity over a week for faulty sensors 6, 7 vs healthy 9."""
+
+from conftest import BENCH_DAYS, run_once
+
+from repro.experiments import cached_scenario, figure8
+
+
+def test_figure8_faulty_sensor_humidity(benchmark):
+    run = cached_scenario("faulty", n_days=BENCH_DAYS)
+    result = run_once(benchmark, lambda: figure8(run, start_day=7, n_days=7))
+    print("\n" + result.render())
+    # Paper shape: sensor 6's humidity decays toward (almost) zero;
+    # sensor 7 reads about 10% above the healthy reference sensor 9.
+    assert result.final_humidity(6) < 40.0
+    assert result.final_humidity(9) > 50.0
+    assert 1.05 < result.mean_ratio(7, reference_id=9) < 1.30

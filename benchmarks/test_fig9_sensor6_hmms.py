@@ -1,0 +1,22 @@
+"""F9 — Figure 9: the two HMMs (M_CO, M_CE) learned for faulty sensor 6."""
+
+import numpy as np
+from conftest import BENCH_DAYS, run_once
+
+from repro.experiments import cached_scenario, figure9
+
+
+def test_figure9_hmms_for_sensor6(benchmark):
+    run = cached_scenario("faulty", n_days=BENCH_DAYS)
+    result = run_once(benchmark, lambda: figure9(run, sensor_id=6))
+    print("\n" + result.render())
+    # M_CO: hidden correct states and observable symbols share the
+    # environment's main states; the matrix is diagonally dominant.
+    common = [s for s in result.b_co.state_ids if s in result.b_co.symbol_ids]
+    assert len(common) >= 3
+    # M_CE: the track's emission concentrates on the stuck state.
+    denoised = result.b_ce.without_symbol(-1).denoised(0.2)
+    column_minima = denoised.matrix.min(axis=0)
+    assert column_minima.max() > 0.5
+    # The A matrix of M_CO stays row-stochastic.
+    assert np.allclose(result.a_co.sum(axis=1), 1.0)

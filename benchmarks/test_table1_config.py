@@ -1,0 +1,16 @@
+"""T1 — Table 1: the experimental setup parameters."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_parameters(benchmark):
+    result = run_once(benchmark, table1)
+    print("\n" + result.render())
+    assert result.value_of("K") == "10"
+    assert result.value_of("M") == "6"
+    assert result.value_of("w") == "12"
+    assert result.value_of("alpha") == "0.10"
+    assert result.value_of("beta") == "0.90"
+    assert result.value_of("gamma") == "0.90"

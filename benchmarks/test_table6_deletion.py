@@ -1,0 +1,23 @@
+"""F10/T6 — Fig. 10 + Table 6: Dynamic Deletion attack on B^CO."""
+
+from conftest import BENCH_DAYS, run_once
+
+from repro.core.classification import AnomalyType
+from repro.core.orthogonality import analyze_orthogonality
+from repro.experiments import cached_scenario, table6
+
+
+def test_table6_dynamic_deletion(benchmark):
+    run = cached_scenario("deletion", n_days=BENCH_DAYS)
+    result = run_once(benchmark, lambda: table6(run))
+    print("\n" + result.render())
+
+    # Paper: row probabilities are not orthogonal — the deleted state's
+    # row collapses onto the hold state's symbol with ~0.999.
+    assert result.anomaly_type is AnomalyType.DYNAMIC_DELETION
+    report = analyze_orthogonality(result.b_co.denoised(0.2))
+    assert not report.rows_orthogonal
+    assert report.max_row_cross > 0.7
+
+    # Every compromised sensor was detected (tracked).
+    assert set(result.compromised_sensors) <= set(result.tracked_sensors)

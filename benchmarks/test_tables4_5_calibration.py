@@ -1,0 +1,28 @@
+"""T4/T5 — Tables 4 & 5: B^CO / B^CE for faulty sensor 7 → calibration."""
+
+import numpy as np
+from conftest import BENCH_DAYS, run_once
+
+from repro.core.classification import AnomalyType
+from repro.experiments import cached_scenario, table4_5
+
+
+def test_tables4_5_calibration_classification(benchmark):
+    run = cached_scenario("faulty", n_days=BENCH_DAYS)
+    result = run_once(benchmark, lambda: table4_5(run))
+    print("\n" + result.render())
+
+    assert result.diagnosis.anomaly_type is AnomalyType.CALIBRATION
+    comparison = result.diagnosis.evidence.get("comparison")
+    assert comparison is not None
+
+    # Paper: ratios with average (1.24, 1.16) and low variance, while
+    # differences have high variance — hence calibration, not additive.
+    assert comparison.ratio_mean is not None
+    assert np.any(np.abs(comparison.ratio_mean - 1.0) > 0.05)
+    relative_dispersion = comparison.ratio_std / np.abs(comparison.ratio_mean)
+    assert np.all(relative_dispersion < 0.12)
+    print(
+        "\nratio mean %s (paper: (1.24, 1.16)), ratio std %s (paper: low)"
+        % (np.round(comparison.ratio_mean, 2), np.round(comparison.ratio_std, 3))
+    )

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Attack forensics: the paper's §4.2 injection study end to end.
+
+Mounts the paper's two attacks with one third of the sensors
+compromised — a Dynamic Deletion that hides the island's hottest state,
+and a Dynamic Creation that injects a spurious warm/dry state at
+night — then shows how the structural analysis of B^CO identifies each
+attack and which sensors participated.
+
+Run:  python examples/attack_forensics.py        (~25 s)
+"""
+
+from repro.analysis.metrics import detection_outcomes, summarize_detection
+from repro.experiments import creation_scenario, deletion_scenario, table6, table7
+
+
+def report(run, table_result) -> None:
+    print(table_result.render())
+    pipeline = run.pipeline
+    truth = {s: 0.0 for s in run.campaign.malicious_sensor_ids()}
+    outcomes = detection_outcomes(pipeline, truth, run.config.window_minutes)
+    summary = summarize_detection(outcomes)
+    print(
+        f"\ndetection: precision {summary.precision:.2f}, "
+        f"recall {summary.recall:.2f}"
+    )
+    for sensor_id in run.campaign.malicious_sensor_ids():
+        diagnosis = pipeline.diagnose_sensor(sensor_id)
+        verdict = diagnosis.anomaly_type.value if diagnosis else "undetected"
+        print(f"  sensor {sensor_id}: {verdict}")
+    print()
+
+
+def main() -> None:
+    print("=== Dynamic Deletion (Fig. 10 / Table 6) ===\n")
+    run = deletion_scenario(n_days=21)
+    report(run, table6(run))
+
+    print("=== Dynamic Creation (Fig. 11 / Table 7) ===\n")
+    run = creation_scenario(n_days=21)
+    report(run, table7(run))
+
+    print(
+        "Both attacks keep every malicious value inside its admissible\n"
+        "range (temperature [-10, 60] °C, humidity [0, 100] %), so plain\n"
+        "range checking never fires — yet the B^CO structure exposes them."
+    )
+
+
+if __name__ == "__main__":
+    main()

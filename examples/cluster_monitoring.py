@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Cluster monitoring: the paper's §6 future-work extension, working.
+
+The DSN'06 paper closes by proposing to apply its methodology "to
+monitor intrusions and failures in a large cluster of machines dedicated
+to running an e-commerce application".  This example does exactly that
+with the *unchanged* pipeline: twelve replicas report (load, latency,
+CPU) once a minute; the shared workload plays the hidden environment.
+
+Three incidents are simulated:
+  1. a memory leak wedging one replica          -> error / stuck-at
+  2. a crypto-miner hiding behind faked metrics -> detected, type per
+     the paper's "attacks can mimic errors" caveat
+  3. a colluding third of the replicas hiding the evening traffic peak
+     from the aggregated dashboard              -> attack / deletion
+
+Run:  python examples/cluster_monitoring.py        (~15 s)
+"""
+
+from repro.clusters import (
+    cryptominer_campaign,
+    dashboard_deletion_campaign,
+    memory_leak_campaign,
+    run_cluster_scenario,
+)
+
+
+def show(title, run, sensor_id=None):
+    print(f"=== {title} ===")
+    pipeline = run.pipeline
+    print(f"windows processed: {pipeline.n_windows}")
+    model = pipeline.correct_model()
+    print(
+        "workload states (load, latency, cpu):",
+        ", ".join(model.label(s) for s in model.state_ids),
+    )
+    tracked = sorted({t.sensor_id for t in pipeline.tracks.tracks})
+    print(f"replicas tracked: {tracked} (truth: {sorted(run.ground_truth)})")
+    system = pipeline.system_diagnosis()
+    print(f"system verdict: {system.anomaly_type.value}")
+    if sensor_id is not None:
+        diagnosis = pipeline.diagnose_sensor(sensor_id)
+        verdict = diagnosis.anomaly_type.value if diagnosis else "none"
+        print(f"replica {sensor_id} diagnosis: {verdict}")
+    print()
+
+
+def main() -> None:
+    print("simulating a 12-replica e-commerce cluster, 6 days each ...\n")
+
+    run = run_cluster_scenario(n_days=6, campaign=memory_leak_campaign())
+    show("memory leak on replica 4", run, sensor_id=4)
+
+    run = run_cluster_scenario(n_days=6, campaign=cryptominer_campaign())
+    show("crypto-miner hiding on replica 7", run, sensor_id=7)
+
+    run = run_cluster_scenario(n_days=6, campaign=dashboard_deletion_campaign())
+    show("colluding replicas hide the evening peak", run)
+
+    print(
+        "The pipeline code is identical to the sensor-network deployment —\n"
+        "only the environment model changed, which is the paper's claim\n"
+        "that the framework generalises to other distributed systems."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Habitat monitoring: the paper's §4.1 fault study end to end.
+
+Reproduces the Great Duck Island July scenario: ten motes sample
+temperature and humidity every five minutes; sensor 6 degrades toward a
+stuck (15, 1) state while losing packets, and sensor 7 develops a
+calibration error.  The script prints the reproduction of Figures 7, 8,
+and 12 and Tables 2-5.
+
+Run:  python examples/habitat_monitoring.py        (~15 s)
+"""
+
+from repro.experiments import (
+    faulty_sensors_scenario,
+    figure7,
+    figure8,
+    figure12,
+    table2_3,
+    table4_5,
+)
+
+
+def main() -> None:
+    print("simulating one GDI month with faulty sensors 6 and 7 ...")
+    run = faulty_sensors_scenario(n_days=21)
+
+    print()
+    print(figure7(run).render())
+    print()
+    print(figure8(run).render())
+    print()
+    print(table2_3(run).render())
+    print()
+    print(table4_5(run).render())
+    print()
+    print(figure12(run).render())
+
+    print("\nsummary:")
+    for sensor_id in (6, 7):
+        diagnosis = run.pipeline.diagnose_sensor(sensor_id)
+        assert diagnosis is not None
+        print(
+            f"  sensor {sensor_id}: {diagnosis.category.value} / "
+            f"{diagnosis.anomaly_type.value}"
+        )
+    print(
+        "  (the paper classifies sensor 6 stuck-at and sensor 7 "
+        "calibration — §4.1)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Analysis utilities: offline clustering, metrics, plain-text reports,
+operator incident reports, and JSON persistence of findings."""
+
+from .incident import RECOVERY_ACTIONS, incident_report, recommended_action
+from .metrics import (
+    ConfusionMatrix,
+    DetectionOutcome,
+    DetectionSummary,
+    alarm_rates,
+    detection_outcomes,
+    false_alarm_rate,
+    summarize_detection,
+)
+from .offline_clustering import (
+    KMeansResult,
+    discretize,
+    initial_states_from_trace,
+    kmeans,
+)
+from .reporting import (
+    render_alarm_series,
+    render_emission_matrix,
+    render_kv,
+    render_markov_model,
+    render_table,
+    state_label,
+)
+from .serialization import (
+    REPORT_FORMAT_VERSION,
+    ReportSummary,
+    load_report,
+    pipeline_to_dict,
+    save_report,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "DetectionOutcome",
+    "DetectionSummary",
+    "KMeansResult",
+    "RECOVERY_ACTIONS",
+    "REPORT_FORMAT_VERSION",
+    "ReportSummary",
+    "alarm_rates",
+    "detection_outcomes",
+    "discretize",
+    "false_alarm_rate",
+    "incident_report",
+    "initial_states_from_trace",
+    "kmeans",
+    "load_report",
+    "pipeline_to_dict",
+    "recommended_action",
+    "render_alarm_series",
+    "render_emission_matrix",
+    "render_kv",
+    "render_markov_model",
+    "render_table",
+    "save_report",
+    "state_label",
+    "summarize_detection",
+]

@@ -1,0 +1,130 @@
+"""Plain-text rendering of tables, matrices, and series.
+
+The benchmark harness prints the same artefacts the paper shows —
+emission matrices with ``(temp,humidity)`` state labels, Markov-model
+edge lists, alarm time series — as aligned ASCII so ``pytest
+benchmarks/`` output can be compared to the paper's tables directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.markov import MarkovModel
+from ..core.online_hmm import EmissionMatrix
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    headers = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def state_label(
+    state_id: int, state_vectors: Mapping[int, np.ndarray]
+) -> str:
+    """``(t,h)`` label for a state id, or ``⊥`` / ``s<id>`` fallbacks."""
+    if state_id < 0:
+        return "⊥"
+    vector = state_vectors.get(state_id)
+    if vector is None:
+        return f"s{state_id}"
+    coords = ",".join(f"{x:.0f}" for x in np.asarray(vector))
+    return f"({coords})"
+
+
+def render_emission_matrix(
+    emission: EmissionMatrix,
+    state_vectors: Mapping[int, np.ndarray],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render a ``B`` matrix the way the paper's Tables 2-7 do."""
+    headers = ["i↓ j→"] + [
+        state_label(s, state_vectors) for s in emission.symbol_ids
+    ]
+    rows = []
+    for row_index, state_id in enumerate(emission.state_ids):
+        cells: List[object] = [state_label(state_id, state_vectors)]
+        cells.extend(
+            f"{value:.{precision}f}" for value in emission.matrix[row_index]
+        )
+        rows.append(cells)
+    return render_table(headers, rows, title=title)
+
+
+def render_markov_model(
+    model: MarkovModel,
+    title: Optional[str] = None,
+    min_probability: float = 0.01,
+) -> str:
+    """Render a Markov model as a labelled edge list (Fig. 7 style)."""
+    rows = []
+    for src, dst, p in model.transitions(min_probability):
+        rows.append((model.label(src), model.label(dst), f"{p:.2f}"))
+    header = ["from", "to", "prob"]
+    visits = ", ".join(
+        f"{model.label(s)}×{model.visit_counts[i]}"
+        for i, s in enumerate(model.state_ids)
+    )
+    table = render_table(header, rows, title=title)
+    return f"{table}\nvisits: {visits}"
+
+
+def render_alarm_series(
+    series: Sequence[bool], width: int = 72, title: Optional[str] = None
+) -> str:
+    """Render a raw-alarm boolean series as a compact strip (Fig. 12).
+
+    Each output character aggregates ``ceil(len/width)`` windows:
+    ``.`` none fired, ``:`` some fired, ``#`` all fired.
+    """
+    if not series:
+        return (title + "\n" if title else "") + "(empty)"
+    chunk = max(1, int(np.ceil(len(series) / width)))
+    chars = []
+    for start in range(0, len(series), chunk):
+        window = series[start : start + chunk]
+        fired = sum(window)
+        if fired == 0:
+            chars.append(".")
+        elif fired == len(window):
+            chars.append("#")
+        else:
+            chars.append(":")
+    strip = "".join(chars)
+    rate = 100.0 * sum(series) / len(series)
+    body = f"{strip}  ({rate:.1f}% of {len(series)} windows)"
+    return f"{title}\n{body}" if title else body
+
+
+def render_kv(pairs: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render key-value pairs, one per line."""
+    lines = [title] if title else []
+    width = max((len(k) for k in pairs), default=0)
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {value}")
+    return "\n".join(lines)

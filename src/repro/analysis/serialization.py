@@ -1,0 +1,163 @@
+"""JSON export of pipeline results.
+
+A deployment wants its collector's findings to outlive the process:
+this module serialises everything a pipeline derived — the clean
+environment model ``M_C``, the learned ``B`` matrices, per-sensor
+diagnoses, alarm statistics — into a stable, versioned JSON document,
+and parses such documents back into plain summaries for dashboards or
+archival comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.classification import AnomalyType, Diagnosis
+from ..core.pipeline import DetectionPipeline
+
+PathLike = Union[str, Path]
+
+#: Format version stamped into every report document.
+REPORT_FORMAT_VERSION = 1
+
+
+def _emission_to_dict(emission) -> Dict[str, object]:
+    return {
+        "states": list(emission.state_ids),
+        "symbols": list(emission.symbol_ids),
+        "matrix": [[round(float(x), 6) for x in row] for row in emission.matrix],
+    }
+
+
+def _diagnosis_to_dict(diagnosis: Diagnosis) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "anomaly_type": diagnosis.anomaly_type.value,
+        "category": diagnosis.category.value,
+        "confidence": round(float(diagnosis.confidence), 4),
+    }
+    stuck_vector = diagnosis.evidence.get("stuck_vector")
+    if stuck_vector is not None:
+        entry["stuck_vector"] = [round(float(x), 3) for x in np.asarray(stuck_vector)]
+    comparison = diagnosis.evidence.get("comparison")
+    if comparison is not None and comparison.ratio_mean is not None:
+        entry["ratio_mean"] = [round(float(x), 4) for x in comparison.ratio_mean]
+        entry["diff_mean"] = [round(float(x), 4) for x in comparison.diff_mean]
+    return entry
+
+
+def pipeline_to_dict(pipeline: DetectionPipeline) -> Dict[str, object]:
+    """Serialise a pipeline's findings into a JSON-ready dictionary."""
+    if pipeline.n_windows == 0:
+        raise ValueError("pipeline has processed no windows")
+    model = pipeline.correct_model(prune=True)
+    state_vectors = pipeline.state_vectors()
+    min_visits = pipeline.config.classifier.min_state_visits
+
+    document: Dict[str, object] = {
+        "format_version": REPORT_FORMAT_VERSION,
+        "n_windows": pipeline.n_windows,
+        "config": pipeline.config.as_dict(),
+        "model_states": {
+            str(state_id): [round(float(x), 3) for x in vector]
+            for state_id, vector in sorted(state_vectors.items())
+        },
+        "correct_model": {
+            "states": list(model.state_ids),
+            "visit_counts": list(model.visit_counts),
+            "transitions": [
+                {"from": src, "to": dst, "p": round(p, 4)}
+                for src, dst, p in model.transitions(0.01)
+            ],
+        },
+        "b_co": _emission_to_dict(
+            pipeline.m_co.emission_matrix(
+                min_state_visits=min_visits, min_symbol_visits=min_visits
+            )
+        ),
+        "system_diagnosis": _diagnosis_to_dict(pipeline.system_diagnosis()),
+        "alarm_rates": {
+            str(sensor_id): round(
+                pipeline.alarm_generator.alarm_rate(sensor_id), 4
+            )
+            for sensor_id in sorted(pipeline.alarm_generator.sensors_seen())
+        },
+        "tracks": [
+            {
+                "track_id": track.track_id,
+                "sensor_id": track.sensor_id,
+                "opened_window": track.opened_window,
+                "closed_window": track.closed_window,
+                "length": track.length,
+            }
+            for track in pipeline.tracks.tracks
+        ],
+        "diagnoses": {
+            str(sensor_id): _diagnosis_to_dict(diagnosis)
+            for sensor_id, diagnosis in pipeline.diagnose_all().items()
+        },
+    }
+    return document
+
+
+def save_report(pipeline: DetectionPipeline, path: PathLike) -> None:
+    """Write the pipeline's findings to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(pipeline_to_dict(pipeline), handle, indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class ReportSummary:
+    """Parsed essentials of a saved report document."""
+
+    format_version: int
+    n_windows: int
+    system_anomaly: AnomalyType
+    sensor_anomalies: Dict[int, AnomalyType]
+    n_model_states: int
+    n_tracks: int
+
+    @property
+    def anomalous_sensors(self) -> List[int]:
+        """Sensors diagnosed with anything other than NONE."""
+        return sorted(
+            s for s, a in self.sensor_anomalies.items() if a is not AnomalyType.NONE
+        )
+
+
+def load_report(path: PathLike) -> ReportSummary:
+    """Parse a saved report into a :class:`ReportSummary`.
+
+    Raises
+    ------
+    ValueError
+        For missing fields or an unsupported format version.
+    """
+    path = Path(path)
+    with path.open("r") as handle:
+        document = json.load(handle)
+    version = document.get("format_version")
+    if version != REPORT_FORMAT_VERSION:
+        raise ValueError(f"unsupported report format version: {version!r}")
+    try:
+        return ReportSummary(
+            format_version=version,
+            n_windows=int(document["n_windows"]),
+            system_anomaly=AnomalyType(
+                document["system_diagnosis"]["anomaly_type"]
+            ),
+            sensor_anomalies={
+                int(sensor_id): AnomalyType(entry["anomaly_type"])
+                for sensor_id, entry in document["diagnoses"].items()
+            },
+            n_model_states=len(document["model_states"]),
+            n_tracks=len(document["tracks"]),
+        )
+    except KeyError as missing:
+        raise ValueError(f"report is missing field {missing}") from None

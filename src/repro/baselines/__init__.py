@@ -1,0 +1,26 @@
+"""Baseline detectors the paper positions itself against.
+
+* :class:`~repro.baselines.threshold.RangeThresholdDetector` — range
+  checking, which the paper's in-range attack injections evade (§4.2).
+* :class:`~repro.baselines.majority.MajorityVoteDetector` — windowed
+  majority voting: detects, cannot diagnose.
+* :class:`~repro.baselines.markov_chain.MarkovChainDetector` — Jha et
+  al. [11]-style Markov-chain scoring with a clean training phase.
+* :class:`~repro.baselines.offline_hmm.OfflineHMMDetector` — Warrender
+  et al. [5]-style trained-HMM likelihood detector.
+"""
+
+from .majority import MajorityVoteDetector
+from .markov_chain import MarkovChainDetector, MarkovChainScore
+from .offline_hmm import HMMScore, OfflineHMMDetector
+from .threshold import RangeThresholdDetector, ThresholdAlarm
+
+__all__ = [
+    "HMMScore",
+    "MajorityVoteDetector",
+    "MarkovChainDetector",
+    "MarkovChainScore",
+    "OfflineHMMDetector",
+    "RangeThresholdDetector",
+    "ThresholdAlarm",
+]

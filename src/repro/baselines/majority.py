@@ -1,0 +1,91 @@
+"""Majority-vote baseline detector.
+
+Uses the same windowed majority machinery as the paper's pipeline (Eqs.
+3-4 + k-of-n filtering) but stops at detection: no HMMs are estimated,
+so the detector can say *which* sensor misbehaves but never *why*.  It
+isolates the contribution of the paper's HMM layer — the diagnosis — in
+the baseline-comparison experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.clustering import OnlineStateClusterer
+from ..core.filtering import FilterBank, KOfNFilter
+from ..core.identification import identify_window
+from ..sensornet.collector import ObservationWindow
+
+
+@dataclass
+class MajorityVoteDetector:
+    """Windowed majority-disagreement detector (detection only).
+
+    Parameters
+    ----------
+    alpha / spawn_threshold / merge_threshold:
+        Clustering knobs, same semantics as the full pipeline.
+    filter_k / filter_n:
+        k-of-n alarm filter parameters.
+    """
+
+    alpha: float = 0.10
+    spawn_threshold: float = 10.0
+    merge_threshold: float = 5.0
+    filter_k: int = 3
+    filter_n: int = 5
+    clusterer: Optional[OnlineStateClusterer] = None
+    filter_bank: FilterBank = field(default_factory=FilterBank)
+    suspicious: Dict[int, int] = field(default_factory=dict)
+    _n_windows: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        k, n = self.filter_k, self.filter_n
+        self.filter_bank = FilterBank(factory=lambda: KOfNFilter(k=k, n=n))
+
+    def process_window(self, window: ObservationWindow) -> List[int]:
+        """Consume one window; returns sensors whose alarm is active."""
+        per_sensor = window.per_sensor_mean()
+        if not per_sensor:
+            return self.filter_bank.active_sensors()
+        if self.clusterer is None:
+            self.clusterer = OnlineStateClusterer(
+                initial_vectors=list(per_sensor.values())[:1],
+                alpha=self.alpha,
+                spawn_threshold=self.spawn_threshold,
+                merge_threshold=self.merge_threshold,
+            )
+        self.clusterer.update(
+            np.vstack([per_sensor[s] for s in sorted(per_sensor)])
+        )
+        identification = identify_window(
+            self.clusterer, per_sensor, overall_mean=window.overall_mean()
+        )
+        raw = {
+            sensor_id: state != identification.correct_state
+            for sensor_id, state in identification.sensor_states.items()
+        }
+        self.filter_bank.update(window.index, raw)
+        self._n_windows += 1
+        active = self.filter_bank.active_sensors()
+        for sensor_id in active:
+            self.suspicious[sensor_id] = self.suspicious.get(sensor_id, 0) + 1
+        return active
+
+    def process_windows(self, windows: Sequence[ObservationWindow]) -> List[int]:
+        """Batch entry point; returns all sensors ever flagged."""
+        for window in windows:
+            self.process_window(window)
+        return self.flagged_sensors()
+
+    def flagged_sensors(self) -> List[int]:
+        """Sensors whose filtered alarm was active at least once."""
+        return sorted(self.suspicious.keys())
+
+    @property
+    def n_windows(self) -> int:
+        """Windows processed so far."""
+        return self._n_windows

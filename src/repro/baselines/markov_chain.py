@@ -1,0 +1,143 @@
+"""Markov-chain anomaly-detection baseline (Jha, Tan & Maxion [11]).
+
+Learns a first-order Markov chain over discretised system states from a
+*training* sequence assumed anomaly-free, then scores test windows by
+the likelihood of their transitions.  The related-work observation the
+paper cites (Ye et al. [14]) — Markov chains only perform well at low
+noise — is directly measurable with this implementation.
+
+Unlike the paper's method, this baseline (a) requires a clean training
+phase, and (b) only answers "anomalous or not": it cannot localise the
+misbehaving sensor nor type the anomaly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MarkovChainScore:
+    """Per-window anomaly score from the chain detector."""
+
+    start_index: int
+    log_likelihood_per_step: float
+    anomalous: bool
+
+
+@dataclass
+class MarkovChainDetector:
+    """First-order Markov chain over a discrete state alphabet.
+
+    Parameters
+    ----------
+    n_states:
+        Size of the discrete state alphabet.
+    smoothing:
+        Additive (Laplace) smoothing on transition counts, so unseen
+        transitions score a finite penalty instead of -inf.
+    threshold:
+        Per-step log-likelihood below which a window is anomalous.
+        Calibrate with :meth:`calibrate_threshold`.
+    """
+
+    n_states: int
+    smoothing: float = 0.5
+    threshold: float = -5.0
+    _transition: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_states <= 0:
+            raise ValueError("n_states must be positive")
+        if self.smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has run."""
+        return self._transition is not None
+
+    def train(self, sequence: Sequence[int]) -> None:
+        """Estimate the chain from an anomaly-free state sequence."""
+        sequence = self._validate(sequence)
+        counts = np.full((self.n_states, self.n_states), self.smoothing)
+        for prev, curr in zip(sequence[:-1], sequence[1:]):
+            counts[prev, curr] += 1.0
+        self._transition = counts / counts.sum(axis=1, keepdims=True)
+
+    def _validate(self, sequence: Sequence[int]) -> np.ndarray:
+        arr = np.asarray(sequence, dtype=int)
+        if arr.ndim != 1 or arr.size < 2:
+            raise ValueError("need a 1-D sequence of at least 2 states")
+        if arr.min() < 0 or arr.max() >= self.n_states:
+            raise ValueError(f"states must be in [0, {self.n_states})")
+        return arr
+
+    def log_likelihood_per_step(self, sequence: Sequence[int]) -> float:
+        """Average log transition probability along ``sequence``."""
+        if self._transition is None:
+            raise RuntimeError("detector is not trained")
+        sequence = self._validate(sequence)
+        total = 0.0
+        steps = 0
+        for prev, curr in zip(sequence[:-1], sequence[1:]):
+            total += math.log(self._transition[prev, curr])
+            steps += 1
+        return total / steps
+
+    def score_windows(
+        self, sequence: Sequence[int], window: int = 6
+    ) -> List[MarkovChainScore]:
+        """Slide a scoring window over a test sequence."""
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        sequence = self._validate(sequence)
+        scores: List[MarkovChainScore] = []
+        for start in range(0, sequence.size - window + 1):
+            chunk = sequence[start : start + window]
+            value = self.log_likelihood_per_step(chunk)
+            scores.append(
+                MarkovChainScore(
+                    start_index=start,
+                    log_likelihood_per_step=value,
+                    anomalous=value < self.threshold,
+                )
+            )
+        return scores
+
+    def calibrate_threshold(
+        self,
+        clean_sequence: Sequence[int],
+        window: int = 6,
+        quantile: float = 0.01,
+        slack: float = 0.5,
+    ) -> float:
+        """Set the threshold from clean-data score statistics.
+
+        Places the threshold ``slack`` below the given lower quantile of
+        clean scores, targeting a false-positive rate around
+        ``quantile``.  Returns the chosen threshold.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        scores = [
+            s.log_likelihood_per_step
+            for s in self.score_windows(clean_sequence, window)
+        ]
+        if not scores:
+            raise ValueError("clean sequence too short to calibrate")
+        self.threshold = float(np.quantile(scores, quantile) - slack)
+        return self.threshold
+
+    def detection_rate(
+        self, sequence: Sequence[int], window: int = 6
+    ) -> float:
+        """Fraction of scored windows flagged anomalous."""
+        scores = self.score_windows(sequence, window)
+        if not scores:
+            return 0.0
+        return sum(s.anomalous for s in scores) / len(scores)

@@ -1,0 +1,137 @@
+"""Warrender-style offline-HMM anomaly detector ([5] in the paper).
+
+The host-based intrusion-detection approach the paper contrasts itself
+with: fit an HMM to anomaly-free behaviour in a separate *training
+phase* (Baum-Welch), then flag test windows whose per-symbol
+log-likelihood falls below a threshold η.
+
+The paper's §2 critique is reproducible with this class:
+
+1. hidden states are arbitrary (``n_hidden`` is a free parameter with no
+   physical meaning),
+2. a clean training phase is required — during which the system is
+   unprotected — and training cost grows steeply with state count,
+3. detection is global: no per-sensor localisation, no error/attack
+   typing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..hmm.baum_welch import TrainingResult, fit_random_restarts
+from ..hmm.algorithms import per_symbol_log_likelihood
+from ..hmm.model import DiscreteHMM
+
+
+@dataclass(frozen=True)
+class HMMScore:
+    """Per-window anomaly score from the offline-HMM detector."""
+
+    start_index: int
+    log_likelihood_per_symbol: float
+    anomalous: bool
+
+
+@dataclass
+class OfflineHMMDetector:
+    """Trained-HMM likelihood detector over a discrete symbol alphabet.
+
+    Parameters
+    ----------
+    n_hidden:
+        Number of hidden states (arbitrary, per the paper's critique).
+    n_symbols:
+        Observation alphabet size.
+    threshold:
+        η — per-symbol log-likelihood below which a window is flagged.
+    seed:
+        RNG seed for the Baum-Welch random restarts.
+    """
+
+    n_hidden: int = 5
+    n_symbols: int = 8
+    threshold: float = -5.0
+    seed: int = 0
+    n_restarts: int = 3
+    max_iterations: int = 40
+    model: Optional[DiscreteHMM] = field(default=None, repr=False)
+    training_result: Optional[TrainingResult] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_hidden <= 0 or self.n_symbols <= 0:
+            raise ValueError("n_hidden and n_symbols must be positive")
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has run."""
+        return self.model is not None
+
+    def train(self, sequences: Sequence[Sequence[int]]) -> TrainingResult:
+        """Fit the HMM to attack-free training sequences."""
+        rng = np.random.default_rng(self.seed)
+        result = fit_random_restarts(
+            self.n_hidden,
+            self.n_symbols,
+            sequences,
+            rng,
+            n_restarts=self.n_restarts,
+            max_iterations=self.max_iterations,
+        )
+        self.model = result.model
+        self.training_result = result
+        return result
+
+    def score(self, sequence: Sequence[int]) -> float:
+        """Per-symbol log-likelihood of one sequence under the model."""
+        if self.model is None:
+            raise RuntimeError("detector is not trained")
+        return per_symbol_log_likelihood(self.model, sequence)
+
+    def score_windows(
+        self, sequence: Sequence[int], window: int = 6
+    ) -> List[HMMScore]:
+        """Slide a scoring window over a test sequence."""
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        sequence = np.asarray(sequence, dtype=int)
+        scores: List[HMMScore] = []
+        for start in range(0, sequence.size - window + 1):
+            value = self.score(sequence[start : start + window])
+            scores.append(
+                HMMScore(
+                    start_index=start,
+                    log_likelihood_per_symbol=value,
+                    anomalous=value < self.threshold,
+                )
+            )
+        return scores
+
+    def calibrate_threshold(
+        self,
+        clean_sequence: Sequence[int],
+        window: int = 6,
+        quantile: float = 0.01,
+        slack: float = 0.5,
+    ) -> float:
+        """Choose η from clean-data score statistics (like [5] does)."""
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        scores = [
+            s.log_likelihood_per_symbol
+            for s in self.score_windows(clean_sequence, window)
+        ]
+        if not scores:
+            raise ValueError("clean sequence too short to calibrate")
+        self.threshold = float(np.quantile(scores, quantile) - slack)
+        return self.threshold
+
+    def detection_rate(self, sequence: Sequence[int], window: int = 6) -> float:
+        """Fraction of scored windows flagged anomalous."""
+        scores = self.score_windows(sequence, window)
+        if not scores:
+            return 0.0
+        return sum(s.anomalous for s in scores) / len(scores)

@@ -1,0 +1,103 @@
+"""Range-checking baseline detector.
+
+The simplest defence a sensor network deploys: flag any reading outside
+its physically admissible range.  The paper explicitly designs its
+attack injections to evade this check ("we have decided to maintain
+malicious values within their admissible range", §4.2), so this baseline
+exists to demonstrate that gap: it catches gross hardware faults but is
+blind to coordinated in-range attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..sensornet.messages import SensorMessage
+
+
+@dataclass(frozen=True)
+class ThresholdAlarm:
+    """One out-of-range reading."""
+
+    sensor_id: int
+    timestamp: float
+    attribute_index: int
+    value: float
+    low: float
+    high: float
+
+
+@dataclass
+class RangeThresholdDetector:
+    """Flags readings whose attributes leave their admissible ranges.
+
+    Parameters
+    ----------
+    ranges:
+        Per-attribute (low, high) bounds.  Defaults match the GDI
+        configuration: temperature in [-10, 60] °C, humidity in
+        [0, 100] %.
+    margin:
+        Optional tightening applied symmetrically to each range, for
+        sensitivity studies (0 keeps the raw physical bounds).
+    """
+
+    ranges: Tuple[Tuple[float, float], ...] = ((-10.0, 60.0), (0.0, 100.0))
+    margin: float = 0.0
+    alarms: List[ThresholdAlarm] = field(default_factory=list)
+    _n_checked: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.margin < 0:
+            raise ValueError("margin must be non-negative")
+        for low, high in self.ranges:
+            if low + 2 * self.margin >= high:
+                raise ValueError("margin collapses an admissible range")
+
+    def check(self, message: SensorMessage) -> List[ThresholdAlarm]:
+        """Check one reading; returns (and records) any alarms."""
+        if message.n_attributes != len(self.ranges):
+            raise ValueError("message/ranges dimensionality mismatch")
+        self._n_checked += 1
+        new: List[ThresholdAlarm] = []
+        for index, value in enumerate(message.attributes):
+            low, high = self.ranges[index]
+            low += self.margin
+            high -= self.margin
+            if not low <= value <= high:
+                alarm = ThresholdAlarm(
+                    sensor_id=message.sensor_id,
+                    timestamp=message.timestamp,
+                    attribute_index=index,
+                    value=float(value),
+                    low=low,
+                    high=high,
+                )
+                self.alarms.append(alarm)
+                new.append(alarm)
+        return new
+
+    def check_all(self, messages: Sequence[SensorMessage]) -> int:
+        """Check a batch; returns the number of new alarms."""
+        before = len(self.alarms)
+        for message in messages:
+            self.check(message)
+        return len(self.alarms) - before
+
+    @property
+    def n_checked(self) -> int:
+        """Readings examined so far."""
+        return self._n_checked
+
+    def flagged_sensors(self) -> List[int]:
+        """Sensors with at least one out-of-range reading."""
+        return sorted({a.sensor_id for a in self.alarms})
+
+    def alarm_rate(self) -> float:
+        """Alarms per checked reading."""
+        if self._n_checked == 0:
+            return 0.0
+        return len(self.alarms) / self._n_checked

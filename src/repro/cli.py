@@ -1,0 +1,187 @@
+"""Command-line interface: reproduce paper artefacts from the shell.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro reproduce fig7 --days 21
+    python -m repro reproduce table6 --days 21 --seed 2003
+    python -m repro scenario stuck_at --days 14
+    python -m repro sweep a1
+
+``reproduce`` regenerates one paper table/figure and prints its ASCII
+rendering; ``scenario`` runs one standard corruption scenario and prints
+the per-sensor diagnoses; ``sweep`` runs one ablation study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import experiments
+from .experiments import cached_scenario
+
+#: artefact name -> (scenario name, callable taking a ScenarioRun).
+_ARTEFACTS: Dict[str, "tuple[str, Callable]"] = {
+    "table1": ("clean", lambda run: experiments.table1(run.config)),
+    "fig6": ("clean", lambda run: experiments.figure6(run, day_index=8)),
+    "fig7": ("clean", experiments.figure7),
+    "fig8": ("faulty", experiments.figure8),
+    "fig9": ("faulty", experiments.figure9),
+    "fig12": ("faulty", experiments.figure12),
+    "table2_3": ("faulty", experiments.table2_3),
+    "table4_5": ("faulty", experiments.table4_5),
+    "table6": ("deletion", experiments.table6),
+    "table7": ("creation", experiments.table7),
+}
+
+#: ablation id -> zero-argument callable returning a renderable result.
+_SWEEPS: Dict[str, Callable] = {
+    "a1": experiments.window_size_sweep,
+    "a2": experiments.learning_factor_sweep,
+    "a3": experiments.compromised_fraction_sweep,
+    "a4": experiments.filter_comparison,
+    "a6": experiments.baseline_comparison,
+    "a7": experiments.dynamic_change_study,
+}
+
+_SCENARIOS = (
+    "clean",
+    "faulty",
+    "stuck_at",
+    "calibration",
+    "additive",
+    "random_noise",
+    "deletion",
+    "creation",
+    "change",
+    "mixed",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DSN'06 error-vs-attack paper artefacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available artefacts and scenarios")
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a paper artefact")
+    reproduce.add_argument("artefact", choices=sorted(_ARTEFACTS))
+    reproduce.add_argument("--days", type=int, default=21)
+    reproduce.add_argument("--seed", type=int, default=2003)
+
+    scenario = sub.add_parser("scenario", help="run a standard scenario")
+    scenario.add_argument("name", choices=_SCENARIOS)
+    scenario.add_argument("--days", type=int, default=14)
+    scenario.add_argument("--seed", type=int, default=2003)
+    scenario.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="also write the findings to PATH as JSON",
+    )
+    scenario.add_argument(
+        "--incident-report",
+        action="store_true",
+        help="print the full operator incident report",
+    )
+
+    sweep = sub.add_parser("sweep", help="run an ablation study")
+    sweep.add_argument("id", choices=sorted(_SWEEPS))
+
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["artefacts:"]
+    lines += [f"  {name}" for name in sorted(_ARTEFACTS)]
+    lines.append("scenarios:")
+    lines += [f"  {name}" for name in _SCENARIOS]
+    lines.append("sweeps:")
+    lines += [f"  {name}" for name in sorted(_SWEEPS)]
+    return "\n".join(lines)
+
+
+def _cmd_reproduce(artefact: str, days: int, seed: int) -> str:
+    scenario_name, build = _ARTEFACTS[artefact]
+    run = cached_scenario(scenario_name, n_days=days, seed=seed)
+    return build(run).render()
+
+
+def _cmd_scenario(
+    name: str,
+    days: int,
+    seed: int,
+    save: Optional[str] = None,
+    full_report: bool = False,
+) -> str:
+    run = cached_scenario(name, n_days=days, seed=seed)
+    pipeline = run.pipeline
+    if save is not None:
+        from .analysis.serialization import save_report
+
+        save_report(pipeline, save)
+    if full_report:
+        from .analysis.incident import incident_report
+
+        return incident_report(pipeline, title=f"Incident report — {name}")
+    lines = [f"scenario {name}: {pipeline.n_windows} windows processed"]
+    system = pipeline.system_diagnosis()
+    lines.append(f"system verdict: {system.anomaly_type.value}")
+    truth = run.ground_truth
+    if truth:
+        lines.append(f"ground truth: {truth}")
+    diagnoses = pipeline.diagnose_all()
+    if diagnoses:
+        lines.append("per-sensor diagnoses:")
+        for sensor_id, diagnosis in diagnoses.items():
+            lines.append(
+                f"  sensor {sensor_id}: {diagnosis.category.value} / "
+                f"{diagnosis.anomaly_type.value} "
+                f"(confidence {diagnosis.confidence:.2f})"
+            )
+    else:
+        lines.append("per-sensor diagnoses: none")
+    model = pipeline.correct_model()
+    lines.append(
+        "M_C states: " + ", ".join(model.label(s) for s in model.state_ids)
+    )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(sweep_id: str) -> str:
+    result = _SWEEPS[sweep_id]()
+    if isinstance(result, tuple):  # classification_matrix-style pairs
+        return "\n\n".join(part.render() for part in result if hasattr(part, "render"))
+    return result.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "reproduce":
+        print(_cmd_reproduce(args.artefact, args.days, args.seed))
+    elif args.command == "scenario":
+        print(
+            _cmd_scenario(
+                args.name,
+                args.days,
+                args.seed,
+                save=args.save,
+                full_report=args.incident_report,
+            )
+        )
+    elif args.command == "sweep":
+        print(_cmd_sweep(args.id))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's §6 future-work extension: cluster monitoring.
+
+Applies the unchanged detection/classification pipeline to a simulated
+e-commerce server cluster — the replicas' shared workload plays Θ(t),
+their metric reports play sensor readings.
+"""
+
+from .environment import (
+    CLUSTER_ADMISSIBLE_RANGES,
+    EcommerceWorkloadEnvironment,
+)
+from .scenario import (
+    CLUSTER_SAMPLE_PERIOD_MINUTES,
+    CLUSTER_WINDOW_SAMPLES,
+    ClusterRun,
+    cluster_pipeline_config,
+    cryptominer_campaign,
+    dashboard_deletion_campaign,
+    memory_leak_campaign,
+    run_cluster_scenario,
+)
+
+__all__ = [
+    "CLUSTER_ADMISSIBLE_RANGES",
+    "CLUSTER_SAMPLE_PERIOD_MINUTES",
+    "CLUSTER_WINDOW_SAMPLES",
+    "ClusterRun",
+    "EcommerceWorkloadEnvironment",
+    "cluster_pipeline_config",
+    "cryptominer_campaign",
+    "dashboard_deletion_campaign",
+    "memory_leak_campaign",
+    "run_cluster_scenario",
+]

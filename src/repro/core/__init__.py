@@ -1,0 +1,85 @@
+"""The paper's core contribution: detection, tracking, and classification.
+
+Everything in this package implements §3 of the paper; the per-module
+mapping is recorded in DESIGN.md §3.
+"""
+
+from .alarms import AlarmGenerator, RawAlarm
+from .classification import (
+    AnomalyCategory,
+    AnomalyType,
+    AttributeComparison,
+    ClassifierConfig,
+    Diagnosis,
+    classify_system,
+    classify_track,
+    compare_state_attributes,
+)
+from .clustering import ClusterUpdate, OnlineStateClusterer
+from .filtering import (
+    AlarmFilter,
+    CUSUMFilter,
+    FilterBank,
+    FilterTransition,
+    KOfNFilter,
+    SPRTFilter,
+)
+from .identification import WindowIdentification, identify_window
+from .markov import (
+    MarkovModel,
+    ModelComparison,
+    compare_models,
+    estimate_markov_model,
+)
+from .online_hmm import EmissionMatrix, OnlineHMM
+from .orthogonality import (
+    OrthogonalityReport,
+    analyze_orthogonality,
+    column_gram,
+    has_all_ones_column,
+    row_gram,
+)
+from .pipeline import DetectionPipeline, WindowResult
+from .states import BOTTOM_STATE_ID, ModelState, StateSet
+from .tracks import ErrorAttackTrack, TrackManager
+
+__all__ = [
+    "AlarmFilter",
+    "AlarmGenerator",
+    "AnomalyCategory",
+    "AnomalyType",
+    "AttributeComparison",
+    "BOTTOM_STATE_ID",
+    "CUSUMFilter",
+    "ClassifierConfig",
+    "ClusterUpdate",
+    "DetectionPipeline",
+    "Diagnosis",
+    "EmissionMatrix",
+    "ErrorAttackTrack",
+    "FilterBank",
+    "FilterTransition",
+    "KOfNFilter",
+    "MarkovModel",
+    "ModelComparison",
+    "ModelState",
+    "OnlineHMM",
+    "OnlineStateClusterer",
+    "OrthogonalityReport",
+    "RawAlarm",
+    "SPRTFilter",
+    "StateSet",
+    "TrackManager",
+    "WindowIdentification",
+    "WindowResult",
+    "analyze_orthogonality",
+    "classify_system",
+    "classify_track",
+    "column_gram",
+    "compare_models",
+    "compare_state_attributes",
+    "estimate_markov_model",
+    "has_all_ones_column",
+    "identify_window",
+    "row_gram",
+]

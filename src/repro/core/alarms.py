@@ -1,0 +1,77 @@
+"""Raw alarm generation (paper §3.1, Alarm Generation module).
+
+A raw alarm ``a^j`` fires for sensor ``j`` in window ``i`` when the
+sensor's mapped state differs from the correct state (``l_j != c_i``).
+Raw alarms are noisy (the paper measures ≈1.5 % false alarms on a
+healthy GDI node, Fig. 12) and must be smoothed by the alarm filters in
+:mod:`repro.core.filtering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .identification import WindowIdentification
+
+
+@dataclass(frozen=True)
+class RawAlarm:
+    """One raw alarm: a sensor disagreed with the majority in a window."""
+
+    window_index: int
+    sensor_id: int
+    sensor_state: int
+    correct_state: int
+
+
+@dataclass
+class AlarmGenerator:
+    """Generates raw alarms and keeps the per-sensor alarm history.
+
+    The history is what Fig. 12 plots (raw alarms over time for a
+    faulty and a non-faulty node) and what the false-alarm-rate metric
+    consumes.
+    """
+
+    history: Dict[int, List[bool]] = field(default_factory=dict)
+    alarms: List[RawAlarm] = field(default_factory=list)
+
+    def process(
+        self, window_index: int, identification: WindowIdentification
+    ) -> List[RawAlarm]:
+        """Emit raw alarms for one identified window.
+
+        Every *reporting* sensor gets a history entry (True = alarm) so
+        alarm rates are computed over windows where the sensor was
+        actually heard from.
+        """
+        new_alarms: List[RawAlarm] = []
+        for sensor_id, state_id in identification.sensor_states.items():
+            fired = state_id != identification.correct_state
+            self.history.setdefault(sensor_id, []).append(fired)
+            if fired:
+                alarm = RawAlarm(
+                    window_index=window_index,
+                    sensor_id=sensor_id,
+                    sensor_state=state_id,
+                    correct_state=identification.correct_state,
+                )
+                self.alarms.append(alarm)
+                new_alarms.append(alarm)
+        return new_alarms
+
+    def alarm_rate(self, sensor_id: int) -> float:
+        """Fraction of this sensor's reporting windows that raised alarms."""
+        series = self.history.get(sensor_id, [])
+        if not series:
+            return 0.0
+        return sum(series) / len(series)
+
+    def alarm_series(self, sensor_id: int) -> List[bool]:
+        """Per-window alarm booleans for one sensor (Fig. 12 series)."""
+        return list(self.history.get(sensor_id, []))
+
+    def sensors_seen(self) -> Set[int]:
+        """All sensors that reported at least once."""
+        return set(self.history.keys())

@@ -1,0 +1,669 @@
+"""Error-versus-attack classification (paper §3.4, Fig. 5).
+
+The classifier inspects the structure of the two learned HMMs:
+
+* the global ``M_CO`` (correct states → observable states) carries the
+  signature of **attacks**, which "change the temporal behavior of the
+  environment as sensed by the network":
+
+  - non-orthogonal *columns* of ``B^CO`` → **Dynamic Creation** (one
+    correct state maps to several observable states),
+  - non-orthogonal *rows* → **Dynamic Deletion** (several correct states
+    collapse onto one observable state),
+  - both → **Mixed**,
+  - orthogonal but with a one-to-one state correspondence whose
+    attribute values all differ → **Dynamic Change**;
+
+* the per-sensor ``M_CE`` (correct states → error/attack-track states)
+  carries the signature of **errors**:
+
+  - a single (approximately) all-ones column of ``B^CE`` → **Stuck-at**
+    (Eq. 7),
+  - orthogonal rows and columns (one-to-one mapping, Eq. 8) with a
+    constant correct/error attribute *ratio* → **Calibration**, with a
+    constant *difference* → **Additive**,
+  - neither → fall back to the Dynamic Change test, then **Unknown**.
+
+Random-noise errors are acknowledged by the paper to be unclassifiable
+under its estimation model (they average out); they surface here as
+*Unknown* or as no diagnosis at all, which tests assert explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .online_hmm import EmissionMatrix, OnlineHMM
+from .orthogonality import (
+    OrthogonalityReport,
+    analyze_orthogonality,
+    has_all_ones_column,
+)
+from .tracks import ErrorAttackTrack
+
+
+class AnomalyCategory(enum.Enum):
+    """Top-level verdict: was the malfunction accidental or malicious?"""
+
+    NONE = "none"
+    ERROR = "error"
+    ATTACK = "attack"
+    UNKNOWN = "unknown"
+
+
+class AnomalyType(enum.Enum):
+    """The §3.3 fault/attack taxonomy."""
+
+    NONE = "none"
+    STUCK_AT = "stuck_at"
+    CALIBRATION = "calibration"
+    ADDITIVE = "additive"
+    RANDOM_NOISE = "random_noise"
+    UNKNOWN_ERROR = "unknown_error"
+    DYNAMIC_CREATION = "creation"
+    DYNAMIC_DELETION = "deletion"
+    DYNAMIC_CHANGE = "change"
+    MIXED = "mixed"
+
+    @property
+    def category(self) -> AnomalyCategory:
+        """The category this type belongs to."""
+        if self in (AnomalyType.NONE,):
+            return AnomalyCategory.NONE
+        if self in (
+            AnomalyType.STUCK_AT,
+            AnomalyType.CALIBRATION,
+            AnomalyType.ADDITIVE,
+            AnomalyType.RANDOM_NOISE,
+        ):
+            return AnomalyCategory.ERROR
+        if self in (
+            AnomalyType.DYNAMIC_CREATION,
+            AnomalyType.DYNAMIC_DELETION,
+            AnomalyType.DYNAMIC_CHANGE,
+            AnomalyType.MIXED,
+        ):
+            return AnomalyCategory.ATTACK
+        return AnomalyCategory.UNKNOWN
+
+
+@dataclass
+class ClassifierConfig:
+    """Tunable thresholds of the structural analysis.
+
+    Defaults follow the paper's empirical tolerances where it states
+    them (§4.1) and DESIGN.md §6 where it does not.
+    """
+
+    #: Row-Gram cross tolerance for B^CO.  Deletion collapses two rows
+    #: onto one symbol (cross ≈ 1.0) while single-sensor faults only
+    #: leak (paper Table 2: 0.11-0.17), so this sits between the bands.
+    row_cross_tolerance: float = 0.45
+    #: Column-Gram cross tolerance for B^CO.  Creation splits one row
+    #: across two symbols (column cross ``b(1-b) <= 0.25``); the paper's
+    #: "< 0.1" tolerance applies at this scale.
+    column_cross_tolerance: float = 0.12
+    #: Row-Gram cross tolerance for the per-sensor B^CE one-to-one test.
+    ce_row_tolerance: float = 0.45
+    #: Diagonal Gram tolerance (paper: > 0.8).
+    self_tolerance: float = 0.8
+    #: Emission entries below this are treated as estimator smear and
+    #: zeroed before structural analysis (see EmissionMatrix.denoised).
+    emission_floor: float = 0.2
+    #: Minimum per-row mass a column needs to count as "all ones" (Eq. 7).
+    stuck_threshold: float = 0.6
+    #: Maximum relative dispersion for a "constant" ratio (calibration).
+    ratio_dispersion_max: float = 0.08
+    #: Minimum deviation of the mean ratio from 1 to call it calibration.
+    ratio_deviation_min: float = 0.04
+    #: Maximum dispersion (relative to attribute scale) for a "constant"
+    #: difference (additive).
+    diff_dispersion_max: float = 0.08
+    #: Minimum mean absolute difference to call it additive.
+    diff_magnitude_min: float = 1.0
+    #: Attribute scale used to normalise difference dispersion.
+    attribute_scale: float = 25.0
+    #: Per-attribute displacement for the dynamic-change test.
+    change_displacement_min: float = 2.0
+    #: Ignore hidden states / tracks with fewer visits than this.
+    min_state_visits: int = 3
+    #: Minimum recorded track length before classification is attempted.
+    min_track_length: int = 5
+    #: Minimum number of (correct, error) state pairs for the
+    #: calibration/additive tests.
+    min_pairs: int = 2
+    #: Minimum number of concurrently tracked sensors for an attack
+    #: verdict to stand.  The paper's attacks are coalition attacks (a
+    #: third of the sensors): a single sensor cannot move the network
+    #: mean onto a held/created state without reporting values extreme
+    #: enough to be clipped, so an attack-shaped B^CO corroborated by
+    #: only one tracked sensor is treated as that sensor's fault
+    #: leakage instead (DESIGN.md §6).
+    min_attack_coalition: int = 2
+
+
+@dataclass(frozen=True)
+class AttributeComparison:
+    """Ratio/difference statistics across corresponding state pairs."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+    ratio_mean: Optional[np.ndarray]
+    ratio_std: Optional[np.ndarray]
+    diff_mean: np.ndarray
+    diff_std: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of corresponding (correct, symbol) state pairs."""
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """A classification verdict plus its supporting evidence.
+
+    Attributes
+    ----------
+    anomaly_type:
+        The §3.3 type (or NONE / UNKNOWN_ERROR).
+    sensor_id:
+        The diagnosed sensor, or None for system-level verdicts.
+    confidence:
+        Coarse confidence in [0, 1] derived from evidence margins.
+    evidence:
+        Free-form structured evidence (Gram extremes, offending pairs,
+        ratio/difference statistics) for reports and debugging.
+    """
+
+    anomaly_type: AnomalyType
+    sensor_id: Optional[int] = None
+    confidence: float = 1.0
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def category(self) -> AnomalyCategory:
+        """ERROR / ATTACK / NONE / UNKNOWN."""
+        return self.anomaly_type.category
+
+    @property
+    def is_attack(self) -> bool:
+        """Convenience flag."""
+        return self.category is AnomalyCategory.ATTACK
+
+    @property
+    def is_error(self) -> bool:
+        """Convenience flag."""
+        return self.category is AnomalyCategory.ERROR
+
+
+# ---------------------------------------------------------------------------
+# System-level analysis of M_CO
+# ---------------------------------------------------------------------------
+
+
+def _one_to_one_correspondence(
+    emission: EmissionMatrix,
+) -> Optional[List[Tuple[int, int]]]:
+    """Dominant (state id, symbol id) pairs when the mapping is injective."""
+    if emission.matrix.size == 0:
+        return None
+    dominant = emission.dominant_symbols()
+    symbols = list(dominant.values())
+    if len(set(symbols)) != len(symbols):
+        return None
+    return sorted(dominant.items())
+
+
+def _change_displacements(
+    pairs: Sequence[Tuple[int, int]],
+    state_vectors: Dict[int, np.ndarray],
+) -> List[Tuple[Tuple[int, int], np.ndarray]]:
+    """Per-pair |correct - observable| attribute displacements."""
+    out = []
+    for state_id, symbol_id in pairs:
+        if state_id == symbol_id:
+            continue
+        correct = state_vectors.get(state_id)
+        observed = state_vectors.get(symbol_id)
+        if correct is None or observed is None:
+            continue
+        out.append(
+            ((state_id, symbol_id), np.abs(np.asarray(correct) - np.asarray(observed)))
+        )
+    return out
+
+
+def classify_system(
+    m_co: OnlineHMM,
+    state_vectors: Dict[int, np.ndarray],
+    config: Optional[ClassifierConfig] = None,
+) -> Diagnosis:
+    """Classify the system-level condition from ``M_CO`` (Fig. 5, top).
+
+    Returns a Diagnosis with one of DYNAMIC_CREATION, DYNAMIC_DELETION,
+    MIXED, DYNAMIC_CHANGE, or NONE (the error branch is per-sensor; see
+    :func:`classify_track`).
+
+    The paper states the tests as row/column orthogonality of ``B^CO``.
+    Orthogonality alone, however, cannot distinguish attack structure
+    from the residual leakage a single degraded sensor induces around
+    state boundaries (the paper's own Table 2 shows 0.11-0.17 of such
+    leakage and still calls the matrix orthogonal).  We therefore apply
+    the orthogonality conditions to the *denoised* matrix and read them
+    through their structural content (§3.4 wording in parentheses):
+
+    * **creation** — a column with no corresponding hidden state
+      receives mass from a row that also emits its own symbol ("a
+      correct environment state being associated with multiple
+      observable environment states", the new one being spurious —
+      exactly Table 7, where column (25,69) has no matching row);
+    * **deletion** — a row's dominant symbol is another *existing*
+      state's own symbol while the row's own column is starved
+      ("multiple correct environment states being associated with the
+      same observable environment state" — Table 6, where row (29,56)
+      emits (20,71) and column (29,56) is empty);
+    * **change** — rows map one-to-one onto spurious symbols whose
+      attributes all differ from the correct states' (left branch of
+      Fig. 5).
+    """
+    config = config or ClassifierConfig()
+    emission = m_co.emission_matrix(
+        min_state_visits=config.min_state_visits,
+        min_symbol_visits=config.min_state_visits,
+    ).denoised(config.emission_floor)
+    report = analyze_orthogonality(
+        emission,
+        row_tolerance=config.row_cross_tolerance,
+        column_tolerance=config.column_cross_tolerance,
+        self_tolerance=config.self_tolerance,
+    )
+    evidence: Dict[str, object] = {
+        "orthogonality": report,
+        "b_co_states": emission.state_ids,
+        "b_co_symbols": emission.symbol_ids,
+    }
+    if emission.matrix.size == 0:
+        return Diagnosis(anomaly_type=AnomalyType.NONE, evidence=evidence)
+
+    structure = _analyze_co_structure(emission, config)
+    evidence.update(structure.as_evidence())
+
+    if structure.creation_pairs and structure.deletion_pairs:
+        return Diagnosis(
+            anomaly_type=AnomalyType.MIXED,
+            confidence=_cross_confidence(report, config),
+            evidence=evidence,
+        )
+    if structure.creation_pairs:
+        return Diagnosis(
+            anomaly_type=AnomalyType.DYNAMIC_CREATION,
+            confidence=_cross_confidence(report, config),
+            evidence=evidence,
+        )
+    if structure.deletion_pairs:
+        return Diagnosis(
+            anomaly_type=AnomalyType.DYNAMIC_DELETION,
+            confidence=_cross_confidence(report, config),
+            evidence=evidence,
+        )
+
+    # No creation/deletion structure: either clean or a Dynamic Change
+    # (one-to-one correspondence with displaced attributes).
+    if structure.change_pairs:
+        displaced = _change_displacements(structure.change_pairs, state_vectors)
+        changed = [
+            pair
+            for pair, displacement in displaced
+            if np.all(displacement >= config.change_displacement_min)
+        ]
+        if changed:
+            evidence["changed_pairs"] = tuple(changed)
+            return Diagnosis(
+                anomaly_type=AnomalyType.DYNAMIC_CHANGE,
+                confidence=min(
+                    1.0,
+                    0.5 + len(changed) / max(len(structure.change_pairs), 1) / 2,
+                ),
+                evidence=evidence,
+            )
+    return Diagnosis(anomaly_type=AnomalyType.NONE, evidence=evidence)
+
+
+@dataclass(frozen=True)
+class _COStructure:
+    """Structural reading of a denoised ``B^CO`` matrix."""
+
+    #: (hidden state, spurious symbol) pairs where the row splits
+    #: between its own symbol and the spurious one -> creation.
+    creation_pairs: Tuple[Tuple[int, int], ...]
+    #: (collapsed state, surviving state) pairs -> deletion.
+    deletion_pairs: Tuple[Tuple[int, int], ...]
+    #: (hidden state, spurious symbol) one-to-one shifts -> change
+    #: candidates (confirmed by the attribute-displacement test).
+    change_pairs: Tuple[Tuple[int, int], ...]
+
+    def as_evidence(self) -> Dict[str, object]:
+        return {
+            "creation_pairs": self.creation_pairs,
+            "deletion_pairs": self.deletion_pairs,
+            "change_candidate_pairs": self.change_pairs,
+        }
+
+
+def _analyze_co_structure(
+    emission: EmissionMatrix, config: ClassifierConfig
+) -> _COStructure:
+    """Extract the creation / deletion / change structure of ``B^CO``."""
+    matrix = emission.matrix
+    hidden = set(emission.state_ids)
+    symbol_index = {s: k for k, s in enumerate(emission.symbol_ids)}
+    significant = config.emission_floor
+
+    def mass(state_id: int, symbol_id: int) -> float:
+        col = symbol_index.get(symbol_id)
+        if col is None:
+            return 0.0
+        return float(matrix[emission.state_ids.index(state_id), col])
+
+    def column_peak(symbol_id: int) -> float:
+        col = symbol_index.get(symbol_id)
+        if col is None:
+            return 0.0
+        return float(matrix[:, col].max())
+
+    # Spurious symbols: observable states that never became correct
+    # states — they cannot come from the environment's own dynamics.
+    spurious = [
+        s for s in emission.symbol_ids
+        if s not in hidden and column_peak(s) >= significant
+    ]
+
+    creation_pairs = []
+    change_shift_map = {}
+    for row, state_id in enumerate(emission.state_ids):
+        own = mass(state_id, state_id)
+        for symbol_id in spurious:
+            leaked = mass(state_id, symbol_id)
+            if leaked < significant:
+                continue
+            if own >= significant:
+                # The row alternates between the real and the spurious
+                # symbol: a new state was *added* to the dynamics.
+                creation_pairs.append((state_id, symbol_id))
+            else:
+                # The row moved wholesale onto the spurious symbol: the
+                # state was *renamed* — a change candidate.
+                change_shift_map[state_id] = symbol_id
+
+    deletion_pairs = []
+    dominant = emission.dominant_symbols()
+    for state_id in emission.state_ids:
+        target = dominant[state_id]
+        if target == state_id or target not in hidden:
+            continue
+        if dominant.get(target) != target:
+            continue
+        # Collapse is only a deletion if the collapsed state's own
+        # symbol effectively vanished from the observable dynamics.
+        if column_peak(state_id) < significant:
+            deletion_pairs.append((state_id, target))
+
+    # Change requires the shift map to be injective (one-to-one).
+    images = list(change_shift_map.values())
+    change_pairs = (
+        tuple(sorted(change_shift_map.items()))
+        if images and len(set(images)) == len(images)
+        else ()
+    )
+    return _COStructure(
+        creation_pairs=tuple(creation_pairs),
+        deletion_pairs=tuple(deletion_pairs),
+        change_pairs=change_pairs,
+    )
+
+
+def _cross_confidence(
+    report: OrthogonalityReport, config: ClassifierConfig
+) -> float:
+    """Confidence that grows with the margin over the cross tolerances."""
+    row_margin = (report.max_row_cross - config.row_cross_tolerance) / max(
+        1.0 - config.row_cross_tolerance, 1e-9
+    )
+    col_margin = (
+        report.max_column_cross - config.column_cross_tolerance
+    ) / max(1.0 - config.column_cross_tolerance, 1e-9)
+    margin = max(row_margin, col_margin)
+    return float(np.clip(0.5 + margin, 0.0, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# Per-sensor analysis of M_CE
+# ---------------------------------------------------------------------------
+
+
+def compare_state_attributes(
+    pairs: Sequence[Tuple[int, int]],
+    state_vectors: Dict[int, np.ndarray],
+) -> Optional[AttributeComparison]:
+    """Ratio/difference statistics for corresponding state pairs (§3.4).
+
+    Ratios follow the paper's ``x^c / x^e`` convention; they are omitted
+    (None) when any error-state attribute is too close to zero for the
+    quotient to be meaningful.
+    """
+    correct_rows = []
+    error_rows = []
+    used_pairs = []
+    for state_id, symbol_id in pairs:
+        correct = state_vectors.get(state_id)
+        error = state_vectors.get(symbol_id)
+        if correct is None or error is None:
+            continue
+        correct_rows.append(np.asarray(correct, dtype=float))
+        error_rows.append(np.asarray(error, dtype=float))
+        used_pairs.append((state_id, symbol_id))
+    if not used_pairs:
+        return None
+    correct_mat = np.vstack(correct_rows)
+    error_mat = np.vstack(error_rows)
+
+    diff = correct_mat - error_mat
+    if np.any(np.abs(error_mat) < 1e-6):
+        ratio_mean = ratio_std = None
+    else:
+        ratio = correct_mat / error_mat
+        ratio_mean = ratio.mean(axis=0)
+        ratio_std = ratio.std(axis=0)
+    return AttributeComparison(
+        pairs=tuple(used_pairs),
+        ratio_mean=ratio_mean,
+        ratio_std=ratio_std,
+        diff_mean=diff.mean(axis=0),
+        diff_std=diff.std(axis=0),
+    )
+
+
+def _calibration_matches(
+    comparison: AttributeComparison, config: ClassifierConfig
+) -> bool:
+    """Constant, non-unit ratio across all attributes."""
+    if comparison.ratio_mean is None or comparison.ratio_std is None:
+        return False
+    if comparison.n_pairs < config.min_pairs:
+        return False
+    dispersion_ok = np.all(
+        comparison.ratio_std <= config.ratio_dispersion_max
+        * np.maximum(np.abs(comparison.ratio_mean), 1e-9)
+        + 1e-12
+    )
+    deviates_from_unit = np.any(
+        np.abs(comparison.ratio_mean - 1.0) >= config.ratio_deviation_min
+    )
+    return bool(dispersion_ok and deviates_from_unit)
+
+
+def _additive_matches(
+    comparison: AttributeComparison, config: ClassifierConfig
+) -> bool:
+    """Constant, non-zero difference across all attributes."""
+    if comparison.n_pairs < config.min_pairs:
+        return False
+    dispersion_ok = np.all(
+        comparison.diff_std
+        <= config.diff_dispersion_max * config.attribute_scale
+    )
+    has_magnitude = np.any(
+        np.abs(comparison.diff_mean) >= config.diff_magnitude_min
+    )
+    return bool(dispersion_ok and has_magnitude)
+
+
+def _normalized_dispersion(values_std: np.ndarray, scale: np.ndarray) -> float:
+    """Mean std-to-scale ratio, the tie-breaking dispersion measure."""
+    return float(np.mean(values_std / np.maximum(np.abs(scale), 1e-9)))
+
+
+def classify_track(
+    track: ErrorAttackTrack,
+    m_co: OnlineHMM,
+    state_vectors: Dict[int, np.ndarray],
+    config: Optional[ClassifierConfig] = None,
+    n_tracked_sensors: Optional[int] = None,
+) -> Diagnosis:
+    """Classify one sensor's anomaly (Fig. 5, full procedure).
+
+    The system-level ``M_CO`` analysis runs first (attacks dominate: the
+    observable dynamics of the *network* changed); when it is clean, the
+    track's ``M_CE`` drives the error-type determination.
+
+    Parameters
+    ----------
+    n_tracked_sensors:
+        Number of distinct sensors currently under tracks, used for the
+        attack-coalition corroboration check; ``None`` skips the check.
+    """
+    config = config or ClassifierConfig()
+    system = classify_system(m_co, state_vectors, config)
+    coalition_ok = (
+        n_tracked_sensors is None
+        or n_tracked_sensors >= config.min_attack_coalition
+    )
+    if coalition_ok and system.anomaly_type in (
+        AnomalyType.DYNAMIC_CREATION,
+        AnomalyType.DYNAMIC_DELETION,
+        AnomalyType.MIXED,
+    ):
+        return Diagnosis(
+            anomaly_type=system.anomaly_type,
+            sensor_id=track.sensor_id,
+            confidence=system.confidence,
+            evidence=dict(system.evidence),
+        )
+
+    if track.length < config.min_track_length:
+        return Diagnosis(
+            anomaly_type=AnomalyType.NONE,
+            sensor_id=track.sensor_id,
+            confidence=0.0,
+            evidence={"reason": "track too short", "length": track.length},
+        )
+
+    emission = track.model.emission_without_bottom(
+        min_state_visits=config.min_state_visits
+    ).denoised(config.emission_floor)
+    evidence: Dict[str, object] = {
+        "b_ce_states": emission.state_ids,
+        "b_ce_symbols": emission.symbol_ids,
+        "track_length": track.length,
+    }
+    if emission.matrix.size == 0:
+        return Diagnosis(
+            anomaly_type=AnomalyType.UNKNOWN_ERROR,
+            sensor_id=track.sensor_id,
+            confidence=0.2,
+            evidence=evidence,
+        )
+
+    # Eq. 7: stuck-at — one column of (approximately) all ones.
+    stuck, stuck_symbol = has_all_ones_column(emission, config.stuck_threshold)
+    if stuck:
+        evidence["stuck_symbol"] = stuck_symbol
+        if stuck_symbol in state_vectors:
+            evidence["stuck_vector"] = np.asarray(state_vectors[stuck_symbol])
+        return Diagnosis(
+            anomaly_type=AnomalyType.STUCK_AT,
+            sensor_id=track.sensor_id,
+            confidence=float(emission.matrix.min(axis=0).max()),
+            evidence=evidence,
+        )
+
+    # Eq. 8: one-to-one mapping between correct and error states.  The
+    # row-orthogonality gate rejects many-to-one collapses; injectivity
+    # of the dominant-symbol map rejects one-to-many splits (we use the
+    # dominant map rather than strict column orthogonality because the
+    # forgetting-factor estimator leaves small boundary splits in B^CE;
+    # see DESIGN.md §6).
+    report = analyze_orthogonality(
+        emission,
+        row_tolerance=config.ce_row_tolerance,
+        column_tolerance=1.0,
+        self_tolerance=config.self_tolerance,
+    )
+    evidence["orthogonality"] = report
+    if report.rows_orthogonal:
+        pairs = _one_to_one_correspondence(emission)
+        if pairs:
+            comparison = compare_state_attributes(pairs, state_vectors)
+            if comparison is not None:
+                evidence["comparison"] = comparison
+                calibration = _calibration_matches(comparison, config)
+                additive = _additive_matches(comparison, config)
+                if calibration and additive:
+                    # Both look constant: pick the lower normalised
+                    # dispersion, the paper's variance comparison.
+                    assert comparison.ratio_std is not None
+                    assert comparison.ratio_mean is not None
+                    ratio_disp = _normalized_dispersion(
+                        comparison.ratio_std, comparison.ratio_mean
+                    )
+                    diff_disp = _normalized_dispersion(
+                        comparison.diff_std,
+                        np.full_like(comparison.diff_mean, config.attribute_scale),
+                    )
+                    calibration = ratio_disp <= diff_disp
+                    additive = not calibration
+                if calibration:
+                    return Diagnosis(
+                        anomaly_type=AnomalyType.CALIBRATION,
+                        sensor_id=track.sensor_id,
+                        confidence=0.9,
+                        evidence=evidence,
+                    )
+                if additive:
+                    return Diagnosis(
+                        anomaly_type=AnomalyType.ADDITIVE,
+                        sensor_id=track.sensor_id,
+                        confidence=0.9,
+                        evidence=evidence,
+                    )
+
+    # Neither error signature held: last chance is the Dynamic Change
+    # test on M_CO (paper: "If neither of the conditions holds, then we
+    # check for the presence of a Dynamic Change attack").
+    if coalition_ok and system.anomaly_type is AnomalyType.DYNAMIC_CHANGE:
+        return Diagnosis(
+            anomaly_type=AnomalyType.DYNAMIC_CHANGE,
+            sensor_id=track.sensor_id,
+            confidence=system.confidence,
+            evidence={**evidence, **system.evidence},
+        )
+    return Diagnosis(
+        anomaly_type=AnomalyType.UNKNOWN_ERROR,
+        sensor_id=track.sensor_id,
+        confidence=0.4,
+        evidence=evidence,
+    )

@@ -1,0 +1,205 @@
+"""Online statistical clustering — the Model State Identification module.
+
+Implements the paper's §3.1 procedure:
+
+* Eq. 5: group the window's observations by nearest state,
+* Eq. 6: move each non-empty state toward its group mean with learning
+  factor α,
+* spawn a new state when an observation is farther than a threshold from
+  every existing state,
+* merge two states when they drift closer than a threshold.
+
+The module must "not split correct data into a number of small-size
+clusters" and should keep M small; the spawn/merge thresholds are the
+tuning knobs the paper alludes to but does not number — DESIGN.md §6
+records our defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .states import ModelState, StateSet
+
+
+@dataclass(frozen=True)
+class ClusterUpdate:
+    """What one window's clustering pass did.
+
+    Attributes
+    ----------
+    assignments:
+        Row index in the window's observation matrix -> state id (Eq. 3
+        applied with the *pre-update* state positions).
+    spawned:
+        Ids of states created for too-far observations.
+    merged:
+        ``(kept_id, dropped_id)`` pairs merged after the α update.
+    """
+
+    assignments: List[int]
+    spawned: List[int]
+    merged: List["tuple[int, int]"]
+
+
+class OnlineStateClusterer:
+    """Maintains the model state set across observation windows.
+
+    Parameters
+    ----------
+    initial_vectors:
+        Initial state estimates (Table 1 uses 6, from offline clustering
+        of historical data; random initialisation also works, per the
+        paper's footnote 5).
+    alpha:
+        Eq. 6 learning factor in (0, 1); Table 1 value 0.10.
+    spawn_threshold:
+        An observation farther than this from every state spawns a new
+        state at its position.
+    merge_threshold:
+        Two states closer than this merge into one.
+    max_states:
+        Safety valve: never grow beyond this many states (the paper
+        warns against "too many model states" breaking the majority
+        assumption).
+    """
+
+    def __init__(
+        self,
+        initial_vectors: Sequence[np.ndarray],
+        alpha: float = 0.10,
+        spawn_threshold: float = 6.0,
+        merge_threshold: float = 3.0,
+        max_states: int = 24,
+    ):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if spawn_threshold <= 0 or merge_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if merge_threshold >= spawn_threshold:
+            raise ValueError("merge_threshold must be below spawn_threshold")
+        if max_states < 2:
+            raise ValueError("max_states must be at least 2")
+        self.alpha = alpha
+        self.spawn_threshold = spawn_threshold
+        self.merge_threshold = merge_threshold
+        self.max_states = max_states
+        self.states = StateSet(initial_vectors)
+        if len(self.states) == 0:
+            raise ValueError("need at least one initial state")
+
+    # -- queries ---------------------------------------------------------
+
+    def assign(self, point: np.ndarray) -> int:
+        """Eq. 3: id of the nearest state to ``point`` (no side effects)."""
+        state, _ = self.states.nearest(point)
+        return state.state_id
+
+    def resolve(self, state_id: int) -> int:
+        """Follow merge aliases for an id issued in an earlier window."""
+        return self.states.resolve(state_id)
+
+    def maybe_spawn(self, point: np.ndarray) -> Optional[int]:
+        """Spawn a state at ``point`` if no existing state explains it.
+
+        Used by the pipeline for the window's *overall mean* (Eq. 2's
+        input): coordinated attacks can pull the network-wide mean to a
+        position no individual sensor reports, and the state set must be
+        able to describe that observable condition ("the module should
+        expand the current set of states when appropriate", §3.1).
+        """
+        _, distance = self.states.nearest(point)
+        if distance > self.spawn_threshold and len(self.states) < self.max_states:
+            return self.states.spawn(point).state_id
+        return None
+
+    # -- the per-window update -------------------------------------------
+
+    def update(self, observations: np.ndarray) -> ClusterUpdate:
+        """Run one full clustering pass over a window's observations.
+
+        Parameters
+        ----------
+        observations:
+            ``(N, d)`` matrix; one row per observation source.
+
+        Returns
+        -------
+        ClusterUpdate
+            Assignments (by pre-update positions), spawned and merged
+            state ids.
+        """
+        observations = np.atleast_2d(np.asarray(observations, dtype=float))
+        if observations.size == 0:
+            return ClusterUpdate(assignments=[], spawned=[], merged=[])
+
+        spawned = self._spawn_far_observations(observations)
+        assignments = [self.assign(row) for row in observations]
+        self._apply_learning_update(observations, assignments)
+        merged = self._merge_close_states()
+        return ClusterUpdate(
+            assignments=[self.states.resolve(a) for a in assignments],
+            spawned=spawned,
+            merged=merged,
+        )
+
+    def _spawn_far_observations(self, observations: np.ndarray) -> List[int]:
+        """Create states for observations no existing state explains."""
+        spawned: List[int] = []
+        for row in observations:
+            _, distance = self.states.nearest(row)
+            if distance > self.spawn_threshold and len(self.states) < self.max_states:
+                state = self.states.spawn(row)
+                spawned.append(state.state_id)
+        return spawned
+
+    def _apply_learning_update(
+        self, observations: np.ndarray, assignments: List[int]
+    ) -> None:
+        """Eq. 5 + Eq. 6: move each visited state toward its group mean."""
+        groups: Dict[int, List[np.ndarray]] = {}
+        for row, state_id in zip(observations, assignments):
+            groups.setdefault(state_id, []).append(row)
+        for state_id, members in groups.items():
+            state = self.states.get(state_id)
+            group_mean = np.mean(np.vstack(members), axis=0)
+            state.vector = (1.0 - self.alpha) * state.vector + self.alpha * group_mean
+            state.visits += 1
+
+    def _merge_close_states(self) -> List["tuple[int, int]"]:
+        """Repeatedly merge the closest pair while it is under threshold."""
+        merged: List["tuple[int, int]"] = []
+        while True:
+            pair = self.states.closest_pair()
+            if pair is None or pair[2] >= self.merge_threshold:
+                break
+            first_id, second_id, _ = pair
+            first = self.states.get(first_id)
+            second = self.states.get(second_id)
+            # Keep the better-established state so ids referenced by the
+            # HMMs stay live as long as possible.
+            if first.visits >= second.visits:
+                keep, drop = first_id, second_id
+            else:
+                keep, drop = second_id, first_id
+            self.states.merge(keep, drop)
+            merged.append((keep, drop))
+        return merged
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Current number of live model states M."""
+        return len(self.states)
+
+    def state_vector(self, state_id: int) -> np.ndarray:
+        """Current attribute estimate of a state (following aliases)."""
+        return self.states.get(state_id).vector.copy()
+
+    def state_labels(self) -> Dict[int, str]:
+        """state_id -> display label for reports."""
+        return self.states.labels()

@@ -1,0 +1,215 @@
+"""Alarm filtering (paper §3.1, Alarm Filtering module).
+
+Raw alarms are integrated into stable *filtered* alarms.  The paper's
+"simple approach" is the k-of-n rule; it also points at change-detection
+schemes — the Sequential Probability Ratio Test (SPRT) and the CUSUM
+procedure (Basseville & Nikiforov [9]) — which are implemented here as
+drop-in alternatives.  All filters share one interface:
+
+    filter.update(raw: bool) -> bool     # new filtered-alarm state
+
+and a :class:`FilterBank` manages one filter instance per sensor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+
+class AlarmFilter:
+    """Interface of a per-sensor alarm filter (stateful)."""
+
+    def update(self, raw: bool) -> bool:
+        """Consume one raw-alarm boolean; return the filtered state."""
+        raise NotImplementedError
+
+    @property
+    def active(self) -> bool:
+        """Current filtered-alarm state."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history."""
+        raise NotImplementedError
+
+
+@dataclass
+class KOfNFilter(AlarmFilter):
+    """Filtered alarm iff at least ``k`` of the last ``n`` raw alarms fired.
+
+    This is exactly the paper's simple rule ("generate a filtered alarm
+    only after receiving k raw alarms in the last n time steps").
+    """
+
+    k: int = 3
+    n: int = 5
+    _window: Deque[bool] = field(default_factory=deque, repr=False)
+    _active: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= self.n:
+            raise ValueError("need 1 <= k <= n")
+
+    def update(self, raw: bool) -> bool:
+        self._window.append(bool(raw))
+        if len(self._window) > self.n:
+            self._window.popleft()
+        self._active = sum(self._window) >= self.k
+        return self._active
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._active = False
+
+
+@dataclass
+class SPRTFilter(AlarmFilter):
+    """Wald's Sequential Probability Ratio Test on the alarm stream.
+
+    Tests H0 "healthy" (alarm probability ``p0``) against H1 "anomalous"
+    (alarm probability ``p1``) with error targets ``alpha`` (false
+    positive) and ``beta`` (false negative).  Accepting H1 raises the
+    filtered alarm; accepting H0 clears it; either decision restarts the
+    test so the filter keeps tracking regime changes.
+    """
+
+    p0: float = 0.02
+    p1: float = 0.65
+    alpha: float = 0.01
+    beta: float = 0.01
+    _llr: float = field(default=0.0, repr=False)
+    _active: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p0 < self.p1 < 1.0:
+            raise ValueError("need 0 < p0 < p1 < 1")
+        if not (0.0 < self.alpha < 1.0 and 0.0 < self.beta < 1.0):
+            raise ValueError("alpha and beta must be in (0, 1)")
+
+    @property
+    def upper_threshold(self) -> float:
+        """Accept-H1 boundary ``log((1-beta)/alpha)``."""
+        return math.log((1.0 - self.beta) / self.alpha)
+
+    @property
+    def lower_threshold(self) -> float:
+        """Accept-H0 boundary ``log(beta/(1-alpha))``."""
+        return math.log(self.beta / (1.0 - self.alpha))
+
+    def update(self, raw: bool) -> bool:
+        if raw:
+            self._llr += math.log(self.p1 / self.p0)
+        else:
+            self._llr += math.log((1.0 - self.p1) / (1.0 - self.p0))
+        if self._llr >= self.upper_threshold:
+            self._active = True
+            self._llr = 0.0
+        elif self._llr <= self.lower_threshold:
+            self._active = False
+            self._llr = 0.0
+        return self._active
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def reset(self) -> None:
+        self._llr = 0.0
+        self._active = False
+
+
+@dataclass
+class CUSUMFilter(AlarmFilter):
+    """One-sided CUSUM on the alarm stream.
+
+    Accumulates ``g = max(0, g + x - drift)`` where ``x`` is the raw
+    alarm indicator; the filtered alarm sets when ``g`` exceeds
+    ``threshold`` and clears when ``g`` returns to zero.  ``drift``
+    should sit between the healthy and anomalous alarm rates.
+    """
+
+    drift: float = 0.25
+    threshold: float = 2.0
+    _g: float = field(default=0.0, repr=False)
+    _active: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drift < 1.0:
+            raise ValueError("drift must be in (0, 1)")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    def update(self, raw: bool) -> bool:
+        self._g = max(0.0, self._g + (1.0 if raw else 0.0) - self.drift)
+        if self._g > self.threshold:
+            self._active = True
+        elif self._g == 0.0:
+            self._active = False
+        return self._active
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def reset(self) -> None:
+        self._g = 0.0
+        self._active = False
+
+
+@dataclass(frozen=True)
+class FilterTransition:
+    """A filtered alarm changed state for one sensor."""
+
+    sensor_id: int
+    window_index: int
+    raised: bool  # True = alarm set, False = alarm cleared
+
+
+@dataclass
+class FilterBank:
+    """One alarm filter per sensor, created on demand from a factory."""
+
+    factory: Callable[[], AlarmFilter] = KOfNFilter
+    filters: Dict[int, AlarmFilter] = field(default_factory=dict)
+
+    def filter_for(self, sensor_id: int) -> AlarmFilter:
+        """Get (or lazily create) the filter of one sensor."""
+        if sensor_id not in self.filters:
+            self.filters[sensor_id] = self.factory()
+        return self.filters[sensor_id]
+
+    def update(
+        self, window_index: int, raw_by_sensor: Dict[int, bool]
+    ) -> List[FilterTransition]:
+        """Feed one window of raw alarms; return state transitions."""
+        transitions: List[FilterTransition] = []
+        for sensor_id, raw in sorted(raw_by_sensor.items()):
+            filt = self.filter_for(sensor_id)
+            before = filt.active
+            after = filt.update(raw)
+            if after != before:
+                transitions.append(
+                    FilterTransition(
+                        sensor_id=sensor_id,
+                        window_index=window_index,
+                        raised=after,
+                    )
+                )
+        return transitions
+
+    def active_sensors(self) -> List[int]:
+        """Sensors whose filtered alarm is currently set."""
+        return sorted(s for s, f in self.filters.items() if f.active)
+
+    def is_active(self, sensor_id: int) -> bool:
+        """Filtered-alarm state of one sensor (False if never seen)."""
+        filt = self.filters.get(sensor_id)
+        return filt.active if filt is not None else False

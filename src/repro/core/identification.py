@@ -1,0 +1,127 @@
+"""Observable / correct state identification (paper Eqs. 2-4).
+
+Given one window's per-sensor observations and the current model state
+set, these functions compute:
+
+* the **observable state** ``o_i`` — the state nearest the mean of *all*
+  observations, corrupt or not (Eq. 2),
+* the **observation-to-state mapping** ``l_j`` per sensor (Eq. 3),
+* the **correct state** ``c_i`` — the state holding the largest cluster
+  of sensors (Eq. 4), valid under the paper's assumption that correct
+  sensors both behave alike and outnumber corrupted ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .clustering import OnlineStateClusterer
+
+
+@dataclass(frozen=True)
+class WindowIdentification:
+    """The per-window quantities the rest of the pipeline consumes.
+
+    Attributes
+    ----------
+    observable_state:
+        ``o_i`` — state id of the overall observed environment (Eq. 2).
+    correct_state:
+        ``c_i`` — state id of the majority cluster (Eq. 4).
+    sensor_states:
+        ``l_j`` per sensor id (Eq. 3).
+    majority_size:
+        Number of sensors in the majority cluster.
+    n_sensors:
+        Number of sensors that reported in this window.
+    """
+
+    observable_state: int
+    correct_state: int
+    sensor_states: Dict[int, int]
+    majority_size: int
+    n_sensors: int
+
+    @property
+    def majority_fraction(self) -> float:
+        """Fraction of reporting sensors inside the majority cluster."""
+        if self.n_sensors == 0:
+            return 0.0
+        return self.majority_size / self.n_sensors
+
+    def disagreeing_sensors(self) -> List[int]:
+        """Sensors whose state differs from the correct state."""
+        return sorted(
+            sensor_id
+            for sensor_id, state_id in self.sensor_states.items()
+            if state_id != self.correct_state
+        )
+
+
+def identify_window(
+    clusterer: OnlineStateClusterer,
+    per_sensor: Dict[int, np.ndarray],
+    overall_mean: Optional[np.ndarray] = None,
+) -> WindowIdentification:
+    """Run Eqs. 2-4 for one window.
+
+    Parameters
+    ----------
+    clusterer:
+        The live model-state set (queried, not modified).
+    per_sensor:
+        sensor id -> that sensor's window-mean observation vector.
+    overall_mean:
+        Mean over all raw readings in the window (Eq. 2's input, which
+        weights sensors by delivered packets).  Falls back to the mean
+        of the per-sensor means when omitted.
+
+    Raises
+    ------
+    ValueError
+        If the window is empty — callers must skip empty windows.
+    """
+    if not per_sensor:
+        raise ValueError("cannot identify states for an empty window")
+
+    # Eq. 3: map each sensor's observation to its nearest model state.
+    sensor_states = {
+        sensor_id: clusterer.assign(vector)
+        for sensor_id, vector in per_sensor.items()
+    }
+
+    # Eq. 2: the observable state is the state nearest the global mean.
+    if overall_mean is None:
+        global_mean = np.mean(np.vstack(list(per_sensor.values())), axis=0)
+    else:
+        global_mean = np.asarray(overall_mean, dtype=float)
+    observable_state = clusterer.assign(global_mean)
+
+    # Eq. 4: the correct state is the one hosting the largest cluster.
+    counts = Counter(sensor_states.values())
+    majority_size = max(counts.values())
+    # Deterministic tie-break: among equally large clusters prefer the
+    # one closest to the global mean (ties on that are broken by id).
+    candidates = [s for s, c in counts.items() if c == majority_size]
+    if len(candidates) == 1:
+        correct_state = candidates[0]
+    else:
+        def tie_key(state_id: int) -> "tuple[float, int]":
+            distance = float(
+                np.linalg.norm(clusterer.state_vector(state_id) - global_mean)
+            )
+            return (distance, state_id)
+
+        correct_state = min(candidates, key=tie_key)
+
+    return WindowIdentification(
+        observable_state=observable_state,
+        correct_state=correct_state,
+        sensor_states=sensor_states,
+        majority_size=majority_size,
+        n_sensors=len(per_sensor),
+    )

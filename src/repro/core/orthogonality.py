@@ -1,0 +1,175 @@
+"""Structural analysis of emission matrices (paper §3.4).
+
+The classification methodology inspects whether the rows and columns of
+an observation-symbol probability matrix ``B`` are *orthogonal*:
+
+* rows: ``∀ i≠j: Σ_k b_ik b_jk ≈ 0`` — different hidden states generate
+  different observation symbols;
+* columns: ``∀ i≠j: Σ_k b_ki b_kj ≈ 0`` — different observation symbols
+  come from different hidden states;
+* diagonal: ``Σ_k b_ik² ≈ 1`` — each state's emission is concentrated.
+
+The paper's empirical tolerances (§4.1: cross terms < 0.1, self terms
+> 0.8) are the defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .online_hmm import EmissionMatrix
+
+#: Default tolerance on row cross terms.  A Dynamic Deletion collapses
+#: two rows onto the same symbol (cross ≈ 1.0), while single-sensor
+#: faults only leak a little mass to neighbouring observable states
+#: (the paper's own Table 2 shows 0.11/0.17 leakage), so the row
+#: threshold sits well above the leakage band and well below collapse.
+DEFAULT_ROW_TOLERANCE = 0.45
+
+#: Default tolerance on column cross terms.  A Dynamic Creation splits
+#: one row across two symbols; the resulting column cross term is
+#: ``b(1-b) <= 0.25``, so the column threshold must be tighter than the
+#: row one.  The paper's empirical "< 0.1" tolerance applies here.
+DEFAULT_COLUMN_TOLERANCE = 0.12
+
+#: The paper's empirical tolerance on self (diagonal) Gram terms.
+DEFAULT_SELF_TOLERANCE = 0.8
+
+
+def row_gram(matrix: np.ndarray) -> np.ndarray:
+    """``G[i, j] = Σ_k b_ik b_jk`` — pairwise row inner products."""
+    matrix = np.asarray(matrix, dtype=float)
+    return matrix @ matrix.T
+
+
+def column_gram(matrix: np.ndarray) -> np.ndarray:
+    """``G[i, j] = Σ_k b_ki b_kj`` — pairwise column inner products."""
+    matrix = np.asarray(matrix, dtype=float)
+    return matrix.T @ matrix
+
+
+@dataclass(frozen=True)
+class OrthogonalityReport:
+    """Outcome of the §3.4 orthogonality analysis of one ``B`` matrix.
+
+    Attributes
+    ----------
+    rows_orthogonal:
+        True when no pair of rows has a cross term above tolerance.
+    columns_orthogonal:
+        True when no pair of columns has a cross term above tolerance.
+    max_row_cross / max_column_cross:
+        Largest off-diagonal Gram entries (0 for 1x1 matrices).
+    min_row_self:
+        Smallest diagonal row-Gram entry — how concentrated the least
+        concentrated row is.
+    offending_row_pairs / offending_column_pairs:
+        The (state id, state id) / (symbol id, symbol id) pairs whose
+        cross terms exceeded tolerance, as classification evidence.
+    """
+
+    rows_orthogonal: bool
+    columns_orthogonal: bool
+    max_row_cross: float
+    max_column_cross: float
+    min_row_self: float
+    offending_row_pairs: Tuple[Tuple[int, int], ...]
+    offending_column_pairs: Tuple[Tuple[int, int], ...]
+
+    @property
+    def fully_orthogonal(self) -> bool:
+        """Rows and columns both orthogonal — the error-free/one-to-one shape."""
+        return self.rows_orthogonal and self.columns_orthogonal
+
+
+def _offending_pairs(
+    gram: np.ndarray, labels: Tuple[int, ...], tolerance: float
+) -> List[Tuple[int, int]]:
+    pairs: List[Tuple[int, int]] = []
+    n = gram.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if gram[i, j] > tolerance:
+                pairs.append((labels[i], labels[j]))
+    return pairs
+
+
+def analyze_orthogonality(
+    emission: EmissionMatrix,
+    row_tolerance: float = DEFAULT_ROW_TOLERANCE,
+    column_tolerance: float = DEFAULT_COLUMN_TOLERANCE,
+    self_tolerance: float = DEFAULT_SELF_TOLERANCE,
+) -> OrthogonalityReport:
+    """Run the full row/column orthogonality analysis on a ``B`` snapshot.
+
+    An empty matrix is reported as fully orthogonal (no evidence of any
+    structure violation).
+    """
+    matrix = emission.matrix
+    if matrix.size == 0:
+        return OrthogonalityReport(
+            rows_orthogonal=True,
+            columns_orthogonal=True,
+            max_row_cross=0.0,
+            max_column_cross=0.0,
+            min_row_self=1.0,
+            offending_row_pairs=(),
+            offending_column_pairs=(),
+        )
+
+    rows = row_gram(matrix)
+    cols = column_gram(matrix)
+
+    def max_off_diagonal(gram: np.ndarray) -> float:
+        if gram.shape[0] < 2:
+            return 0.0
+        off = gram - np.diag(np.diag(gram))
+        return float(off.max())
+
+    max_row_cross = max_off_diagonal(rows)
+    max_column_cross = max_off_diagonal(cols)
+    min_row_self = float(np.diag(rows).min())
+
+    return OrthogonalityReport(
+        rows_orthogonal=max_row_cross <= row_tolerance,
+        columns_orthogonal=max_column_cross <= column_tolerance,
+        max_row_cross=max_row_cross,
+        max_column_cross=max_column_cross,
+        min_row_self=min_row_self,
+        offending_row_pairs=tuple(
+            _offending_pairs(rows, emission.state_ids, row_tolerance)
+        ),
+        offending_column_pairs=tuple(
+            _offending_pairs(cols, emission.symbol_ids, column_tolerance)
+        ),
+    )
+
+
+def has_all_ones_column(
+    emission: EmissionMatrix, threshold: float = 0.6
+) -> "tuple[bool, int]":
+    """Check the stuck-at signature (paper Eq. 7, with tolerance).
+
+    A stuck-at fault makes *every* hidden state emit (approximately) the
+    same symbol: one column of ``B`` holds (approximately) all the mass
+    of every row.  The paper's own Table 3 passes only approximately
+    (one row holds 0.67), so the default threshold is forgiving.
+
+    Returns
+    -------
+    (matches, symbol_id):
+        ``matches`` is True when some column k satisfies
+        ``b_ik >= threshold`` for all rows i; ``symbol_id`` is that
+        column's symbol id (or ``-2**30`` when no column matches).
+    """
+    matrix = emission.matrix
+    if matrix.size == 0:
+        return False, -(2**30)
+    column_minima = matrix.min(axis=0)
+    best = int(np.argmax(column_minima))
+    if column_minima[best] >= threshold:
+        return True, emission.symbol_ids[best]
+    return False, -(2**30)

@@ -1,0 +1,318 @@
+"""The full detection pipeline (paper Fig. 1).
+
+:class:`DetectionPipeline` wires every module of §3 together and is the
+library's main entry point.  Feed it observation windows (live from the
+simulator or batch from a trace) and query it for raw/filtered alarms,
+per-sensor diagnoses, and the clean environment model ``M_C``.
+
+Per window the pipeline:
+
+1. averages each sensor's readings (Θ is ~constant within ``w``),
+2. runs the online clusterer (spawn / Eq. 6 update / merge),
+3. identifies ``o_i``, ``l_j``, ``c_i`` (Eqs. 2-4),
+4. generates raw alarms (``l_j != c_i``) and filters them,
+5. opens/closes error/attack tracks on filtered-alarm transitions and
+   records the window into every open track (⊥ on agreement),
+6. updates the global online HMM ``M_CO`` with ``(c_i, o_i)`` (each
+   track updates its own ``M_CE`` in step 5),
+7. appends ``c_i``/``o_i`` to the sequences behind ``M_C``/``M_O``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sensornet.collector import ObservationWindow
+
+if TYPE_CHECKING:  # avoid a circular import; see repro.config
+    from ..config import PipelineConfig
+from .alarms import AlarmGenerator, RawAlarm
+from .classification import (
+    AnomalyType,
+    ClassifierConfig,
+    Diagnosis,
+    classify_system,
+    classify_track,
+)
+from .clustering import ClusterUpdate, OnlineStateClusterer
+from .filtering import FilterBank, FilterTransition
+from .identification import WindowIdentification, identify_window
+from .markov import MarkovModel, estimate_markov_model
+from .online_hmm import OnlineHMM
+from .tracks import ErrorAttackTrack, TrackManager
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Everything the pipeline derived from one observation window."""
+
+    window_index: int
+    skipped: bool
+    identification: Optional[WindowIdentification] = None
+    cluster_update: Optional[ClusterUpdate] = None
+    raw_alarms: Sequence[RawAlarm] = ()
+    filter_transitions: Sequence[FilterTransition] = ()
+    n_model_states: int = 0
+
+    @property
+    def observable_state(self) -> Optional[int]:
+        """``o_i`` of this window (None when skipped)."""
+        return self.identification.observable_state if self.identification else None
+
+    @property
+    def correct_state(self) -> Optional[int]:
+        """``c_i`` of this window (None when skipped)."""
+        return self.identification.correct_state if self.identification else None
+
+
+class DetectionPipeline:
+    """The paper's on-the-fly detection and classification procedure.
+
+    Parameters
+    ----------
+    config:
+        All pipeline knobs (Table 1 defaults).
+    initial_states:
+        Optional initial model-state vectors.  When omitted, the first
+        non-empty window bootstraps the state set (the paper notes the
+        method "worked equally well when a set of random initial states
+        was provided", footnote 5).
+    """
+
+    def __init__(
+        self,
+        config: "Optional[PipelineConfig]" = None,
+        initial_states: Optional[Sequence[np.ndarray]] = None,
+    ):
+        if config is None:
+            # Imported lazily: repro.config itself imports repro.core.
+            from ..config import PipelineConfig
+
+            config = PipelineConfig()
+        self.config = config
+        self._initial_states = (
+            [np.asarray(v, dtype=float) for v in initial_states]
+            if initial_states is not None
+            else None
+        )
+        self.clusterer: Optional[OnlineStateClusterer] = None
+        self.alarm_generator = AlarmGenerator()
+        self.filter_bank = FilterBank(factory=self.config.filter_factory())
+        # Table 1's beta/gamma are retention factors; the online HMMs take
+        # the complementary innovation rates (see OnlineHMM's docstring).
+        self.tracks = TrackManager(
+            transition_innovation=1.0 - self.config.beta,
+            emission_innovation=1.0 - self.config.gamma,
+        )
+        self.m_co = OnlineHMM(
+            transition_innovation=1.0 - self.config.beta,
+            emission_innovation=1.0 - self.config.gamma,
+        )
+        self.correct_sequence: List[int] = []
+        self.observable_sequence: List[int] = []
+        self.results: List[WindowResult] = []
+        self._n_windows = 0
+
+    # -- bootstrap ----------------------------------------------------------
+
+    def _bootstrap_clusterer(self, per_sensor: Dict[int, np.ndarray]) -> None:
+        """Create the clusterer from explicit or first-window states."""
+        if self._initial_states is not None:
+            vectors = self._initial_states
+        else:
+            # Greedy farthest-point seeding from the first window: take
+            # each sensor mean that no existing seed already explains.
+            vectors = []
+            for vector in per_sensor.values():
+                if not vectors or all(
+                    np.linalg.norm(vector - seed) > self.config.spawn_threshold
+                    for seed in vectors
+                ):
+                    vectors.append(np.asarray(vector, dtype=float))
+                if len(vectors) >= self.config.n_initial_states:
+                    break
+        self.clusterer = OnlineStateClusterer(
+            initial_vectors=vectors,
+            alpha=self.config.alpha,
+            spawn_threshold=self.config.spawn_threshold,
+            merge_threshold=self.config.merge_threshold,
+            max_states=self.config.max_states,
+        )
+
+    # -- the per-window step ---------------------------------------------
+
+    def process_window(self, window: ObservationWindow) -> WindowResult:
+        """Consume one observation window; returns what was derived."""
+        self._n_windows += 1
+        per_sensor = window.per_sensor_mean()
+        if not per_sensor:
+            result = WindowResult(window_index=window.index, skipped=True)
+            self.results.append(result)
+            return result
+        if self.clusterer is None:
+            self._bootstrap_clusterer(per_sensor)
+        assert self.clusterer is not None
+
+        observations = np.vstack(
+            [per_sensor[s] for s in sorted(per_sensor.keys())]
+        )
+        cluster_update = self.clusterer.update(observations)
+        overall_mean = window.overall_mean()
+        self.clusterer.maybe_spawn(overall_mean)
+        identification = identify_window(
+            self.clusterer, per_sensor, overall_mean=overall_mean
+        )
+
+        raw_alarms = self.alarm_generator.process(window.index, identification)
+        raw_by_sensor = {
+            sensor_id: state_id != identification.correct_state
+            for sensor_id, state_id in identification.sensor_states.items()
+        }
+        transitions = self.filter_bank.update(window.index, raw_by_sensor)
+        for transition in transitions:
+            if transition.raised:
+                self.tracks.open_track(transition.sensor_id, window.index)
+            else:
+                self.tracks.close_track(transition.sensor_id, window.index)
+
+        self.tracks.record_window(
+            identification.correct_state, identification.sensor_states
+        )
+        self.m_co.observe(
+            identification.correct_state, identification.observable_state
+        )
+        self.correct_sequence.append(identification.correct_state)
+        self.observable_sequence.append(identification.observable_state)
+
+        result = WindowResult(
+            window_index=window.index,
+            skipped=False,
+            identification=identification,
+            cluster_update=cluster_update,
+            raw_alarms=tuple(raw_alarms),
+            filter_transitions=tuple(transitions),
+            n_model_states=self.clusterer.n_states,
+        )
+        self.results.append(result)
+        return result
+
+    def process_windows(
+        self, windows: Sequence[ObservationWindow]
+    ) -> List[WindowResult]:
+        """Batch-feed a list of windows (trace-driven experiments)."""
+        return [self.process_window(window) for window in windows]
+
+    # -- state access -----------------------------------------------------
+
+    @property
+    def n_windows(self) -> int:
+        """Number of windows consumed (including skipped ones)."""
+        return self._n_windows
+
+    def state_vectors(self) -> Dict[int, np.ndarray]:
+        """Every state id ever referenced -> its current attribute vector.
+
+        Ids that were merged away resolve to their survivor's vector, so
+        HMM snapshots recorded under old ids stay interpretable.
+        """
+        if self.clusterer is None:
+            return {}
+        vectors: Dict[int, np.ndarray] = {}
+        referenced = set(self.m_co.state_ids) | set(self.m_co.symbol_ids)
+        for track in self.tracks.tracks:
+            referenced |= set(track.model.state_ids)
+            referenced |= set(track.model.symbol_ids)
+        referenced |= set(self.clusterer.states.state_ids)
+        for state_id in referenced:
+            if state_id < 0:  # the ⊥ symbol has no vector
+                continue
+            try:
+                vectors[state_id] = self.clusterer.state_vector(state_id)
+            except KeyError:
+                continue
+        return vectors
+
+    # -- diagnosis -----------------------------------------------------------
+
+    def _n_tracked_sensors(self) -> int:
+        """Distinct sensors that ever had an error/attack track."""
+        return len({t.sensor_id for t in self.tracks.tracks})
+
+    def system_diagnosis(self) -> Diagnosis:
+        """Classify the system-level condition from ``M_CO``.
+
+        An attack-shaped ``B^CO`` corroborated by fewer tracked sensors
+        than the configured coalition minimum is downgraded to NONE: the
+        paper's attacks are coalition attacks, and a lone misbehaving
+        sensor's leakage can mimic the structural signature (DESIGN.md
+        §6).
+        """
+        diagnosis = classify_system(
+            self.m_co, self.state_vectors(), self.config.classifier
+        )
+        if (
+            diagnosis.is_attack
+            and self._n_tracked_sensors()
+            < self.config.classifier.min_attack_coalition
+        ):
+            evidence = dict(diagnosis.evidence)
+            evidence["downgraded_attack"] = diagnosis.anomaly_type.value
+            evidence["n_tracked_sensors"] = self._n_tracked_sensors()
+            return Diagnosis(
+                anomaly_type=AnomalyType.NONE,
+                confidence=0.5,
+                evidence=evidence,
+            )
+        return diagnosis
+
+    def diagnose_sensor(self, sensor_id: int) -> Optional[Diagnosis]:
+        """Classify the latest track of one sensor (None if never tracked)."""
+        track = self.tracks.latest_track_for(sensor_id)
+        if track is None:
+            return None
+        return classify_track(
+            track,
+            self.m_co,
+            self.state_vectors(),
+            self.config.classifier,
+            n_tracked_sensors=self._n_tracked_sensors(),
+        )
+
+    def diagnose_all(self) -> Dict[int, Diagnosis]:
+        """Classify every sensor that ever had a track."""
+        diagnoses: Dict[int, Diagnosis] = {}
+        for sensor_id in sorted({t.sensor_id for t in self.tracks.tracks}):
+            diagnosis = self.diagnose_sensor(sensor_id)
+            if diagnosis is not None:
+                diagnoses[sensor_id] = diagnosis
+        return diagnoses
+
+    def track_for(self, sensor_id: int) -> Optional[ErrorAttackTrack]:
+        """The latest error/attack track of a sensor, if any."""
+        return self.tracks.latest_track_for(sensor_id)
+
+    # -- user-facing models -------------------------------------------------
+
+    def correct_model(self, prune: bool = True) -> MarkovModel:
+        """``M_C`` — the error/attack-free environment dynamics (step 5)."""
+        return self._sequence_model(self.correct_sequence, prune)
+
+    def observable_model(self, prune: bool = True) -> MarkovModel:
+        """``M_O`` — the dynamics of the environment as observed."""
+        return self._sequence_model(self.observable_sequence, prune)
+
+    def _sequence_model(self, sequence: List[int], prune: bool) -> MarkovModel:
+        if not sequence:
+            raise ValueError("no windows processed yet")
+        resolved = (
+            [self.clusterer.resolve(s) for s in sequence]
+            if self.clusterer is not None
+            else list(sequence)
+        )
+        model = estimate_markov_model(resolved, self.state_vectors())
+        if prune:
+            model = model.prune(self.config.prune_visit_fraction)
+        return model

@@ -1,0 +1,177 @@
+"""Model states: the shared vocabulary of the whole methodology.
+
+The Model State Identification module maintains a small set
+``S = {s_1..s_M}`` of attribute vectors that "synthetically describe the
+physical conditions traversed by the sensed phenomenon and by
+error/attack data" (§3.1).  Both HMMs use these states as hidden states
+*and* observation symbols, so state identity must survive online updates,
+merges, and spawns — hence every state carries a stable integer id that
+never gets reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Sentinel id for the fictitious ⊥ symbol used by error/attack tracks
+#: when a tracked sensor agrees with the majority (§3.1).
+BOTTOM_STATE_ID = -1
+
+
+@dataclass
+class ModelState:
+    """One model state: a stable id plus a drifting attribute vector.
+
+    Attributes
+    ----------
+    state_id:
+        Stable, never-reused identifier.
+    vector:
+        Current attribute estimate (updated online via Eq. 6).
+    visits:
+        How many window updates mapped at least one observation here;
+        used to prune spurious states (Fig. 7 discussion).
+    """
+
+    state_id: int
+    vector: np.ndarray
+    visits: int = 0
+
+    def __post_init__(self) -> None:
+        self.vector = np.asarray(self.vector, dtype=float).copy()
+        if self.vector.ndim != 1 or self.vector.size == 0:
+            raise ValueError("state vector must be a non-empty 1-D array")
+
+    def distance_to(self, point: np.ndarray) -> float:
+        """Euclidean distance from this state to ``point``."""
+        return float(np.linalg.norm(self.vector - np.asarray(point, dtype=float)))
+
+    def label(self) -> str:
+        """The paper's ``(temp, humidity)``-style display label."""
+        coords = ",".join(f"{x:.0f}" for x in self.vector)
+        return f"({coords})"
+
+
+class StateSet:
+    """An ordered, id-stable collection of model states.
+
+    Supports the three structural operations the online clusterer needs:
+    nearest-state queries, spawning, and merging.  Merged-away ids are
+    remembered in an alias table so downstream consumers (HMMs, tracks)
+    can keep referring to them.
+    """
+
+    def __init__(self, initial_vectors: Optional[Sequence[np.ndarray]] = None):
+        self._states: Dict[int, ModelState] = {}
+        self._aliases: Dict[int, int] = {}
+        self._next_id = 0
+        if initial_vectors is not None:
+            for vector in initial_vectors:
+                self.spawn(vector)
+
+    # -- basic container behaviour -------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[ModelState]:
+        return iter(sorted(self._states.values(), key=lambda s: s.state_id))
+
+    def __contains__(self, state_id: int) -> bool:
+        return self.resolve(state_id) in self._states
+
+    @property
+    def state_ids(self) -> List[int]:
+        """Live state ids in creation order."""
+        return sorted(self._states.keys())
+
+    def get(self, state_id: int) -> ModelState:
+        """Fetch a state by id, following merge aliases.
+
+        Raises ``KeyError`` for ids that never existed.
+        """
+        return self._states[self.resolve(state_id)]
+
+    def resolve(self, state_id: int) -> int:
+        """Follow the alias chain of a (possibly merged-away) id."""
+        seen = set()
+        while state_id in self._aliases:
+            if state_id in seen:  # pragma: no cover - defensive
+                raise RuntimeError("alias cycle in StateSet")
+            seen.add(state_id)
+            state_id = self._aliases[state_id]
+        return state_id
+
+    # -- structural operations ------------------------------------------
+
+    def spawn(self, vector: np.ndarray) -> ModelState:
+        """Create a new state at ``vector`` with a fresh id."""
+        state = ModelState(state_id=self._next_id, vector=np.asarray(vector))
+        self._states[state.state_id] = state
+        self._next_id += 1
+        return state
+
+    def merge(self, keep_id: int, drop_id: int) -> ModelState:
+        """Merge state ``drop_id`` into ``keep_id``.
+
+        The survivor's vector becomes the visit-weighted mean of the two;
+        the dropped id becomes an alias of the survivor.
+        """
+        keep_id = self.resolve(keep_id)
+        drop_id = self.resolve(drop_id)
+        if keep_id == drop_id:
+            return self._states[keep_id]
+        keep = self._states[keep_id]
+        drop = self._states.pop(drop_id)
+        total = max(keep.visits + drop.visits, 1)
+        weight_keep = max(keep.visits, 1) / total if total else 0.5
+        keep.vector = weight_keep * keep.vector + (1 - weight_keep) * drop.vector
+        keep.visits += drop.visits
+        self._aliases[drop_id] = keep_id
+        return keep
+
+    # -- queries ----------------------------------------------------------
+
+    def nearest(self, point: np.ndarray) -> Tuple[ModelState, float]:
+        """The live state closest to ``point`` and its distance.
+
+        Raises ``ValueError`` on an empty set.
+        """
+        if not self._states:
+            raise ValueError("StateSet is empty")
+        point = np.asarray(point, dtype=float)
+        best: Optional[ModelState] = None
+        best_distance = float("inf")
+        for state in self:
+            distance = state.distance_to(point)
+            if distance < best_distance:
+                best = state
+                best_distance = distance
+        assert best is not None
+        return best, best_distance
+
+    def vectors(self) -> np.ndarray:
+        """``(M, d)`` matrix of live state vectors, in id order."""
+        if not self._states:
+            return np.zeros((0, 0))
+        return np.vstack([state.vector for state in self])
+
+    def closest_pair(self) -> Optional[Tuple[int, int, float]]:
+        """The two closest live states and their distance (None if < 2)."""
+        states = list(self)
+        if len(states) < 2:
+            return None
+        best: Optional[Tuple[int, int, float]] = None
+        for i, first in enumerate(states):
+            for second in states[i + 1 :]:
+                distance = first.distance_to(second.vector)
+                if best is None or distance < best[2]:
+                    best = (first.state_id, second.state_id, distance)
+        return best
+
+    def labels(self) -> Dict[int, str]:
+        """state_id -> ``(t,h)`` display label, for reports."""
+        return {state.state_id: state.label() for state in self}

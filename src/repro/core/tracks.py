@@ -1,0 +1,156 @@
+"""Error/attack track management (paper §3.1, Track Management module).
+
+Each sensor with a *set* filtered alarm gets its own open track ``e^k``.
+While the track is open, every window appends a symbol:
+
+* the sensor's mapped state ``l_k`` when it disagrees with the correct
+  state (``l_k != c_i``), or
+* the fictitious ``⊥`` symbol when the tracked sensor happens to agree
+  with the majority.
+
+Each track owns its own online HMM ``M_CE`` relating the correct states
+to the track symbols; closing (alarm cleared) freezes the track for
+post-mortem classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .online_hmm import OnlineHMM
+from .states import BOTTOM_STATE_ID
+
+
+@dataclass
+class ErrorAttackTrack:
+    """One per-sensor error/attack track and its ``M_CE`` model.
+
+    Attributes
+    ----------
+    track_id:
+        Sequential id ("the number of tracks that were previously
+        active" naming scheme of §3.1).
+    sensor_id:
+        The tracked sensor.
+    opened_window:
+        Window index at which the filtered alarm was raised.
+    closed_window:
+        Window index of closure, or None while open.
+    symbols:
+        The per-window ``(c_i, e_i)`` pairs recorded so far.
+    """
+
+    track_id: int
+    sensor_id: int
+    opened_window: int
+    model: OnlineHMM
+    closed_window: Optional[int] = None
+    symbols: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_open(self) -> bool:
+        """True until the filtered alarm clears."""
+        return self.closed_window is None
+
+    @property
+    def length(self) -> int:
+        """Number of windows recorded on this track."""
+        return len(self.symbols)
+
+    def record(self, correct_state: int, error_symbol: int) -> None:
+        """Append one window's (c_i, e_i) pair and update ``M_CE``."""
+        self.symbols.append((correct_state, error_symbol))
+        self.model.observe(correct_state, error_symbol)
+
+    def disagreement_fraction(self) -> float:
+        """Fraction of recorded windows with a non-⊥ symbol."""
+        if not self.symbols:
+            return 0.0
+        disagreeing = sum(1 for _, e in self.symbols if e != BOTTOM_STATE_ID)
+        return disagreeing / len(self.symbols)
+
+
+@dataclass
+class TrackManager:
+    """Opens, feeds, and closes per-sensor error/attack tracks.
+
+    Parameters
+    ----------
+    transition_innovation / emission_innovation:
+        Innovation rates handed to each track's ``M_CE`` estimator
+        (``1 - β`` / ``1 - γ`` in Table 1 terms; see
+        :class:`repro.core.online_hmm.OnlineHMM`).
+    """
+
+    transition_innovation: float = 0.10
+    emission_innovation: float = 0.10
+    tracks: List[ErrorAttackTrack] = field(default_factory=list)
+    _open_by_sensor: Dict[int, ErrorAttackTrack] = field(default_factory=dict)
+
+    def open_track(self, sensor_id: int, window_index: int) -> ErrorAttackTrack:
+        """Open a track for ``sensor_id`` (no-op if one is already open)."""
+        existing = self._open_by_sensor.get(sensor_id)
+        if existing is not None:
+            return existing
+        track = ErrorAttackTrack(
+            track_id=len(self.tracks) + 1,
+            sensor_id=sensor_id,
+            opened_window=window_index,
+            model=OnlineHMM(
+                transition_innovation=self.transition_innovation,
+                emission_innovation=self.emission_innovation,
+            ),
+        )
+        self.tracks.append(track)
+        self._open_by_sensor[sensor_id] = track
+        return track
+
+    def close_track(self, sensor_id: int, window_index: int) -> Optional[ErrorAttackTrack]:
+        """Close the open track of ``sensor_id`` (None if none open)."""
+        track = self._open_by_sensor.pop(sensor_id, None)
+        if track is not None:
+            track.closed_window = window_index
+        return track
+
+    def open_track_for(self, sensor_id: int) -> Optional[ErrorAttackTrack]:
+        """The currently open track of a sensor, if any."""
+        return self._open_by_sensor.get(sensor_id)
+
+    def record_window(
+        self,
+        correct_state: int,
+        sensor_states: Dict[int, int],
+    ) -> None:
+        """Feed one window into every open track.
+
+        For each tracked sensor that reported this window, record its
+        mapped state when it disagrees with ``correct_state`` and ``⊥``
+        otherwise.  Tracked sensors that did not report (packet loss)
+        contribute nothing this window.
+        """
+        for sensor_id, track in self._open_by_sensor.items():
+            if sensor_id not in sensor_states:
+                continue
+            mapped = sensor_states[sensor_id]
+            symbol = mapped if mapped != correct_state else BOTTOM_STATE_ID
+            track.record(correct_state, symbol)
+
+    def tracks_for_sensor(self, sensor_id: int) -> List[ErrorAttackTrack]:
+        """All (open and closed) tracks of one sensor, oldest first."""
+        return [t for t in self.tracks if t.sensor_id == sensor_id]
+
+    def latest_track_for(self, sensor_id: int) -> Optional[ErrorAttackTrack]:
+        """The most recent track of a sensor (open or closed)."""
+        candidates = self.tracks_for_sensor(sensor_id)
+        return candidates[-1] if candidates else None
+
+    @property
+    def open_sensor_ids(self) -> List[int]:
+        """Sensors with a currently open track."""
+        return sorted(self._open_by_sensor.keys())
+
+    @property
+    def n_tracks(self) -> int:
+        """Total number of tracks ever opened."""
+        return len(self.tracks)

@@ -1,0 +1,434 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+These go beyond the paper's own evaluation: parameter sweeps, the
+majority-assumption breaking point, alarm-filter trade-offs, an overall
+classification-accuracy matrix, and a comparison against the baseline
+detectors of :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.metrics import ConfusionMatrix, false_alarm_rate
+from ..analysis.offline_clustering import discretize, initial_states_from_trace
+from ..analysis.reporting import render_table
+from ..baselines.majority import MajorityVoteDetector
+from ..baselines.markov_chain import MarkovChainDetector
+from ..baselines.offline_hmm import OfflineHMMDetector
+from ..baselines.threshold import RangeThresholdDetector
+from ..config import PipelineConfig
+from ..core.classification import AnomalyType
+from ..faults.attacks import DynamicDeletionAttack
+from ..faults.campaign import CampaignSpec, choose_compromised
+from ..traces.gdi import GDITraceConfig
+from .runner import ScenarioRun, run_scenario
+from .scenarios import (
+    additive_scenario,
+    calibration_scenario,
+    change_scenario,
+    clean_scenario,
+    creation_scenario,
+    deletion_scenario,
+    mixed_scenario,
+    random_noise_scenario,
+    reference_states,
+    stuck_at_scenario,
+)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A generic sweep: one row of metrics per parameter value."""
+
+    parameter: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+    title: str
+
+    def column(self, name: str) -> List[object]:
+        """Extract one metric column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=self.title)
+
+
+def window_size_sweep(
+    sizes: Sequence[int] = (6, 12, 24, 48), n_days: int = 10, seed: int = 2003
+) -> SweepResult:
+    """A1: how the window size w trades alarm noise for time resolution."""
+    rows = []
+    for size in sizes:
+        config = PipelineConfig(window_samples=size)
+        run = clean_scenario(n_days=n_days, seed=seed, config=config)
+        rate = false_alarm_rate(run.pipeline, corrupted_sensors=[])
+        rows.append(
+            (
+                size,
+                f"{size * 5} min",
+                run.pipeline.clusterer.n_states,
+                f"{100 * rate:.2f}%",
+                run.pipeline.tracks.n_tracks,
+            )
+        )
+    return SweepResult(
+        parameter="w",
+        headers=("w (samples)", "duration", "model states", "false alarms", "tracks"),
+        rows=tuple(rows),
+        title="Ablation A1 — observation window size sweep (clean data)",
+    )
+
+
+def learning_factor_sweep(
+    alphas: Sequence[float] = (0.02, 0.05, 0.10, 0.25, 0.5),
+    n_days: int = 10,
+    seed: int = 2003,
+) -> SweepResult:
+    """A2: the clustering learning factor α (Eq. 6) on clean data."""
+    rows = []
+    for alpha in alphas:
+        config = PipelineConfig(alpha=alpha)
+        run = clean_scenario(n_days=n_days, seed=seed, config=config)
+        rate = false_alarm_rate(run.pipeline, corrupted_sensors=[])
+        rows.append(
+            (
+                f"{alpha:.2f}",
+                run.pipeline.clusterer.n_states,
+                f"{100 * rate:.2f}%",
+                run.pipeline.tracks.n_tracks,
+            )
+        )
+    return SweepResult(
+        parameter="alpha",
+        headers=("alpha", "model states", "false alarms", "tracks"),
+        rows=tuple(rows),
+        title="Ablation A2 — model-state learning factor sweep (clean data)",
+    )
+
+
+def compromised_fraction_sweep(
+    fractions: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+    n_days: int = 14,
+    seed: int = 2003,
+) -> SweepResult:
+    """A3: the majority assumption's breaking point under deletion.
+
+    The paper assumes "a majority of sensors have not been compromised";
+    this sweep raises the compromised fraction until the deletion attack
+    stops being classified (the adversary *wins* the majority and the
+    deleted view becomes the correct view).
+    """
+    anchors = reference_states(seed=seed)
+    deleted = tuple(anchors[-1])
+    hold = tuple(anchors[-2])
+    rows = []
+    for fraction in fractions:
+        compromised = choose_compromised(range(10), fraction, seed=seed)
+        campaign = CampaignSpec(name=f"deletion-{fraction:.1f}")
+        campaign.plant(
+            DynamicDeletionAttack(
+                deleted_state=deleted,
+                hold_state=hold,
+                radius=10.0,
+                fraction=max(len(compromised) / 10.0, 0.05),
+            ),
+            compromised,
+        )
+        run = run_scenario(
+            name=campaign.name,
+            campaign=campaign,
+            trace_config=GDITraceConfig(n_days=n_days, seed=seed),
+        )
+        verdict = run.pipeline.system_diagnosis().anomaly_type
+        rows.append(
+            (
+                f"{fraction:.1f}",
+                len(compromised),
+                verdict.value,
+                len({t.sensor_id for t in run.pipeline.tracks.tracks}),
+            )
+        )
+    return SweepResult(
+        parameter="compromised fraction",
+        headers=("fraction", "n compromised", "system verdict", "sensors tracked"),
+        rows=tuple(rows),
+        title="Ablation A3 — compromised-fraction sweep (deletion attack)",
+    )
+
+
+def filter_comparison(
+    n_days: int = 14, seed: int = 2003
+) -> SweepResult:
+    """A4: k-of-n vs SPRT vs CUSUM on the stuck-at scenario."""
+    rows = []
+    onset_minutes = 2 * 24 * 60.0
+    for kind in ("k_of_n", "sprt", "cusum"):
+        config = PipelineConfig(filter_kind=kind)
+        run = stuck_at_scenario(n_days=n_days, seed=seed, config=config)
+        pipeline = run.pipeline
+        tracks = pipeline.tracks.tracks_for_sensor(6)
+        onset_window = int(onset_minutes // config.window_minutes) + 1
+        latency = (
+            tracks[0].opened_window - onset_window if tracks else None
+        )
+        healthy_tracked = sorted(
+            {t.sensor_id for t in pipeline.tracks.tracks} - {6}
+        )
+        rows.append(
+            (
+                kind,
+                "yes" if tracks else "NO",
+                latency if latency is not None else "-",
+                len(healthy_tracked),
+            )
+        )
+    return SweepResult(
+        parameter="filter",
+        headers=("filter", "detected", "latency (windows)", "healthy sensors tracked"),
+        rows=tuple(rows),
+        title="Ablation A4 — alarm filter comparison (stuck-at sensor 6)",
+    )
+
+
+#: Ground-truth kind -> the diagnosis label considered correct in A5.
+#: ``drift`` saturates into a stuck state (the paper's own sensor 6),
+#: and ``random_noise`` is unclassifiable by design (§3.4).
+A5_EQUIVALENCES: Dict[str, str] = {
+    "drift": "stuck_at",
+    "random_noise": "none",
+}
+
+
+def classification_matrix(
+    n_days: int = 14, seed: int = 2003
+) -> "tuple[ConfusionMatrix, SweepResult]":
+    """A5: the full fault/attack classification accuracy matrix."""
+    matrix = ConfusionMatrix()
+    scenario_builders: List[Callable[[], ScenarioRun]] = [
+        lambda: stuck_at_scenario(n_days=n_days, seed=seed),
+        lambda: calibration_scenario(n_days=n_days, seed=seed),
+        lambda: additive_scenario(n_days=n_days, seed=seed),
+        lambda: random_noise_scenario(n_days=n_days, seed=seed),
+        lambda: deletion_scenario(n_days=n_days, seed=seed),
+        lambda: creation_scenario(n_days=n_days, seed=seed),
+        lambda: change_scenario(n_days=n_days, seed=seed),
+        lambda: mixed_scenario(n_days=n_days, seed=seed),
+    ]
+    rows = []
+    for build in scenario_builders:
+        run = build()
+        diagnoses = run.pipeline.diagnose_all()
+        truth = run.ground_truth
+        matrix.record_diagnoses(truth, diagnoses)
+        expected = next(iter(truth.values()))
+        got = sorted({d.anomaly_type.value for d in diagnoses.values()})
+        rows.append((run.name, expected, ", ".join(got) or "none"))
+    sweep = SweepResult(
+        parameter="scenario",
+        headers=("scenario", "ground truth", "diagnoses"),
+        rows=tuple(rows),
+        title="Ablation A5 — classification outcomes per scenario",
+    )
+    return matrix, sweep
+
+
+def baseline_comparison(
+    n_days: int = 14, seed: int = 2003
+) -> SweepResult:
+    """A6: the paper's method vs range / majority / chain / HMM baselines.
+
+    The expected shape: range checking misses the in-range attacks
+    entirely; majority voting detects the culprit sensors but assigns no
+    type; the trained Markov-chain and offline-HMM detectors notice the
+    attacks as anomalies but cannot localise or type them; the paper's
+    method detects *and* types.
+    """
+    clean = clean_scenario(n_days=n_days, seed=seed)
+    centers = initial_states_from_trace(
+        np.vstack([r.vector for r in clean.trace.records]), 6, seed=seed
+    )
+    clean_seq = _observable_sequence(clean, centers)
+
+    chain = MarkovChainDetector(n_states=len(centers))
+    chain.train(clean_seq)
+    chain.calibrate_threshold(clean_seq)
+
+    hmm = OfflineHMMDetector(n_hidden=4, n_symbols=len(centers), seed=seed)
+    hmm.train([clean_seq])
+    hmm.calibrate_threshold(clean_seq)
+
+    scenarios = [
+        ("stuck-at", stuck_at_scenario(n_days=n_days, seed=seed)),
+        ("deletion", deletion_scenario(n_days=n_days, seed=seed)),
+        ("creation", creation_scenario(n_days=n_days, seed=seed)),
+    ]
+    rows = []
+    for label, run in scenarios:
+        messages = run.trace.to_messages()
+        threshold = RangeThresholdDetector()
+        threshold.check_all(messages)
+        majority = MajorityVoteDetector()
+        majority.process_windows(run.windows())
+        sequence = _observable_sequence(run, centers)
+        chain_rate = chain.detection_rate(sequence)
+        hmm_rate = hmm.detection_rate(sequence)
+        ours = sorted(
+            {
+                d.anomaly_type.value
+                for d in run.pipeline.diagnose_all().values()
+            }
+        )
+        rows.append(
+            (
+                label,
+                "flags " + str(threshold.flagged_sensors())
+                if threshold.alarms
+                else "blind",
+                "flags " + str(majority.flagged_sensors()),
+                f"{100 * chain_rate:.0f}% windows",
+                f"{100 * hmm_rate:.0f}% windows",
+                ", ".join(ours) or "none",
+            )
+        )
+    return SweepResult(
+        parameter="scenario",
+        headers=(
+            "scenario",
+            "range check",
+            "majority vote",
+            "markov chain",
+            "offline HMM",
+            "this paper (typed)",
+        ),
+        rows=tuple(rows),
+        title="Ablation A6 — baseline comparison",
+    )
+
+
+def _observable_sequence(run: ScenarioRun, centers: np.ndarray) -> np.ndarray:
+    """Discretised per-window observable-mean sequence for the baselines."""
+    means = []
+    for window in run.windows():
+        if not window.is_empty:
+            means.append(window.overall_mean())
+    if not means:
+        raise ValueError("scenario produced no non-empty windows")
+    return discretize(np.vstack(means), centers)
+
+
+def dynamic_change_study(
+    n_days: int = 14, seed: int = 2003
+) -> SweepResult:
+    """A7: the left branch of Fig. 5 — dynamic change classification."""
+    run = change_scenario(n_days=n_days, seed=seed)
+    diagnosis = run.pipeline.system_diagnosis()
+    changed = diagnosis.evidence.get("changed_pairs", ())
+    state_vectors = run.pipeline.state_vectors()
+    rows = []
+    for state_id, symbol_id in changed:
+        correct = state_vectors.get(state_id)
+        observed = state_vectors.get(symbol_id)
+        if correct is None or observed is None:
+            continue
+        displacement = np.asarray(correct) - np.asarray(observed)
+        rows.append(
+            (
+                "(%s)" % ",".join(f"{x:.0f}" for x in correct),
+                "(%s)" % ",".join(f"{x:.0f}" for x in observed),
+                "(%s)" % ",".join(f"{x:+.1f}" for x in displacement),
+            )
+        )
+    return SweepResult(
+        parameter="pair",
+        headers=("correct state", "observable state", "displacement"),
+        rows=tuple(rows),
+        title=(
+            "Ablation A7 — dynamic change pairs "
+            f"(system verdict: {diagnosis.anomaly_type.value})"
+        ),
+    )
+
+
+def estimator_comparison(
+    n_days: int = 10, seed: int = 2003
+) -> SweepResult:
+    """A9: the paper's redundancy trick vs general online EM ([10]).
+
+    The paper's §2 argument: classical HMM identification is slow and
+    its hidden states lack physical meaning, while exploiting sensor
+    redundancy makes the hidden state *observable* and estimation
+    trivial.  This ablation estimates the clean deployment's M_CO both
+    ways and scores how well each recovers the ground-truth one-to-one
+    correct-to-observable correspondence (diagonal mass of B).
+    """
+    from ..core.online_hmm import OnlineHMM
+    from ..hmm.online_em import OnlineEMEstimator
+
+    run = clean_scenario(n_days=n_days, seed=seed)
+    pipeline = run.pipeline
+    correct = [pipeline.clusterer.resolve(s) for s in pipeline.correct_sequence]
+    observable = [
+        pipeline.clusterer.resolve(s) for s in pipeline.observable_sequence
+    ]
+    alphabet = sorted(set(correct) | set(observable))
+    index = {s: k for k, s in enumerate(alphabet)}
+    n = len(alphabet)
+
+    # The paper's estimator, replayed on the same window stream.
+    paper = OnlineHMM(transition_innovation=0.1, emission_innovation=0.1)
+    for c, o in zip(correct, observable):
+        paper.observe(c, o)
+    emission = paper.emission_matrix()
+    paper_diag = float(
+        np.mean(
+            [
+                emission.matrix[
+                    emission.state_ids.index(s), emission.symbol_ids.index(s)
+                ]
+                for s in alphabet
+                if s in emission.state_ids and s in emission.symbol_ids
+            ]
+        )
+    )
+
+    # General online EM sees only the observable symbols.
+    general = OnlineEMEstimator(
+        n_states=n, n_symbols=n, step_size=0.05, seed=seed
+    )
+    general.observe_sequence([index[o] for o in observable])
+    general_b = general.current_model().emission
+    # Best-case assignment of anonymous states to symbols: for each
+    # hidden state take its dominant symbol mass (no identifiability,
+    # so we score it as generously as possible).
+    general_diag = float(np.mean(general_b.max(axis=1)))
+
+    rows = [
+        (
+            "paper (redundancy-aware)",
+            len(correct),
+            f"{paper_diag:.3f}",
+            "yes — states are cluster states",
+        ),
+        (
+            "general online EM [10]",
+            len(observable),
+            f"{general_diag:.3f}",
+            "no — anonymous hidden states",
+        ),
+    ]
+    return SweepResult(
+        parameter="estimator",
+        headers=(
+            "estimator",
+            "updates",
+            "mean dominant/diagonal B mass",
+            "physically interpretable",
+        ),
+        rows=tuple(rows),
+        title="Ablation A9 — paper's estimator vs general online EM",
+    )

@@ -1,0 +1,332 @@
+"""One callable per figure of the paper's evaluation (§4).
+
+Each function runs (or accepts) the relevant scenario and returns a
+result object whose ``render()`` produces the plain-text equivalent of
+the figure; the benchmark harness prints these so the run output can be
+read against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.reporting import (
+    render_alarm_series,
+    render_emission_matrix,
+    render_kv,
+    render_markov_model,
+    render_table,
+)
+from ..core.markov import MarkovModel
+from ..core.online_hmm import EmissionMatrix
+from .runner import ScenarioRun
+from .scenarios import clean_scenario, faulty_sensors_scenario
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — humidity and temperature variation for one day
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Hourly temperature/humidity profile of one deployment day."""
+
+    day_index: int
+    hours: Tuple[int, ...]
+    temperature: Tuple[float, ...]
+    humidity: Tuple[float, ...]
+
+    @property
+    def temperature_range(self) -> Tuple[float, float]:
+        """(min, max) hourly temperature."""
+        return (min(self.temperature), max(self.temperature))
+
+    @property
+    def humidity_range(self) -> Tuple[float, float]:
+        """(min, max) hourly humidity."""
+        return (min(self.humidity), max(self.humidity))
+
+    def anticorrelation(self) -> float:
+        """Pearson correlation between temperature and humidity."""
+        return float(np.corrcoef(self.temperature, self.humidity)[0, 1])
+
+    def render(self) -> str:
+        rows = [
+            (h, f"{t:.1f}", f"{rh:.1f}")
+            for h, t, rh in zip(self.hours, self.temperature, self.humidity)
+        ]
+        table = render_table(
+            ["hour", "temp °C", "humidity %"],
+            rows,
+            title=f"Figure 6 — diurnal variation, day {self.day_index + 1}",
+        )
+        stats = render_kv(
+            {
+                "temp range": "%.1f..%.1f" % self.temperature_range,
+                "humidity range": "%.1f..%.1f" % self.humidity_range,
+                "correlation": f"{self.anticorrelation():.2f}",
+            }
+        )
+        return f"{table}\n{stats}"
+
+
+def figure6(
+    run: Optional[ScenarioRun] = None, day_index: int = 8
+) -> Figure6Result:
+    """Fig. 6: temperature/humidity variation for July 9 (day index 8)."""
+    run = run or clean_scenario(n_days=min(day_index + 2, 31))
+    day = run.trace.day(day_index)
+    if len(day) == 0:
+        raise ValueError(f"trace has no data for day {day_index}")
+    hours: List[int] = []
+    temps: List[float] = []
+    hums: List[float] = []
+    day_start = day_index * 24 * 60.0
+    for hour in range(24):
+        start = day_start + hour * 60.0
+        chunk = day.between(start, start + 60.0)
+        if len(chunk) == 0:
+            continue
+        matrix = np.vstack([r.vector for r in chunk.records])
+        hours.append(hour)
+        temps.append(float(matrix[:, 0].mean()))
+        hums.append(float(matrix[:, 1].mean()))
+    return Figure6Result(
+        day_index=day_index,
+        hours=tuple(hours),
+        temperature=tuple(temps),
+        humidity=tuple(hums),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — the correct Markov model M_C
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """The extracted error/attack-free environment model ``M_C``."""
+
+    model: MarkovModel
+    unpruned_model: MarkovModel
+
+    @property
+    def main_states(self) -> List[Tuple[float, ...]]:
+        """Attribute tuples of the pruned (key) states, coldest first."""
+        vectors = [
+            tuple(float(x) for x in self.model.state_vectors[s])
+            for s in self.model.state_ids
+        ]
+        return sorted(vectors, key=lambda v: v[0])
+
+    @property
+    def n_spurious(self) -> int:
+        """States present before pruning but dropped as spurious."""
+        return self.unpruned_model.n_states - self.model.n_states
+
+    def render(self) -> str:
+        body = render_markov_model(
+            self.model, title="Figure 7 — correct Markov model M_C (pruned)"
+        )
+        return (
+            f"{body}\n"
+            f"spurious states pruned: {self.n_spurious} "
+            f"(paper prunes the low-probability (16,27) state)"
+        )
+
+
+def figure7(run: Optional[ScenarioRun] = None) -> Figure7Result:
+    """Fig. 7: M_C estimated from the full month."""
+    run = run or clean_scenario()
+    return Figure7Result(
+        model=run.pipeline.correct_model(prune=True),
+        unpruned_model=run.pipeline.correct_model(prune=False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — faulty sensors 6 and 7 vs healthy sensor 9
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Weekly humidity profile of sensors 6, 7, and 9."""
+
+    day_labels: Tuple[int, ...]
+    humidity_by_sensor: Dict[int, Tuple[float, ...]]
+
+    def final_humidity(self, sensor_id: int) -> float:
+        """Last daily-mean humidity of a sensor."""
+        return self.humidity_by_sensor[sensor_id][-1]
+
+    def mean_ratio(self, sensor_id: int, reference_id: int = 9) -> float:
+        """Mean humidity ratio of a sensor vs the reference sensor."""
+        sensor = np.asarray(self.humidity_by_sensor[sensor_id])
+        reference = np.asarray(self.humidity_by_sensor[reference_id])
+        return float(np.mean(sensor / np.maximum(reference, 1e-9)))
+
+    def render(self) -> str:
+        sensors = sorted(self.humidity_by_sensor)
+        rows = []
+        for i, day in enumerate(self.day_labels):
+            rows.append(
+                [day]
+                + [f"{self.humidity_by_sensor[s][i]:.1f}" for s in sensors]
+            )
+        return render_table(
+            ["day"] + [f"sensor {s}" for s in sensors],
+            rows,
+            title="Figure 8 — daily mean humidity, faulty sensors 6/7 vs 9",
+        )
+
+
+def figure8(
+    run: Optional[ScenarioRun] = None,
+    sensors: Sequence[int] = (6, 7, 9),
+    start_day: int = 7,
+    n_days: int = 7,
+) -> Figure8Result:
+    """Fig. 8: a week of humidity for the faulty and a healthy sensor."""
+    run = run or faulty_sensors_scenario(n_days=start_day + n_days + 1)
+    humidity: Dict[int, List[float]] = {s: [] for s in sensors}
+    days: List[int] = []
+    for day in range(start_day, start_day + n_days):
+        chunk = run.trace.day(day)
+        days.append(day + 1)
+        for sensor_id in sensors:
+            records = [r for r in chunk.records if r.sensor_id == sensor_id]
+            if records:
+                value = float(np.mean([r.attributes[1] for r in records]))
+            else:
+                value = float("nan")
+            humidity[sensor_id].append(value)
+    return Figure8Result(
+        day_labels=tuple(days),
+        humidity_by_sensor={s: tuple(v) for s, v in humidity.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — the two HMMs learned for faulty sensor 6
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """M_CO and M_CE snapshots for the stuck-at sensor."""
+
+    sensor_id: int
+    b_co: EmissionMatrix
+    b_ce: EmissionMatrix
+    a_co: np.ndarray
+    a_co_state_ids: Tuple[int, ...]
+    state_vectors: Dict[int, np.ndarray]
+
+    def render(self) -> str:
+        parts = [
+            render_emission_matrix(
+                self.b_co,
+                self.state_vectors,
+                title=f"Figure 9 (top) — M_CO emission for sensor {self.sensor_id}",
+            ),
+            render_emission_matrix(
+                self.b_ce,
+                self.state_vectors,
+                title=f"Figure 9 (bottom) — M_CE emission for sensor {self.sensor_id}",
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def figure9(
+    run: Optional[ScenarioRun] = None, sensor_id: int = 6
+) -> Figure9Result:
+    """Fig. 9: the HMMs learned for faulty sensor 6."""
+    run = run or faulty_sensors_scenario()
+    pipeline = run.pipeline
+    track = pipeline.track_for(sensor_id)
+    if track is None:
+        raise RuntimeError(f"sensor {sensor_id} was never tracked")
+    min_visits = pipeline.config.classifier.min_state_visits
+    a_co, a_ids = pipeline.m_co.transition_matrix()
+    return Figure9Result(
+        sensor_id=sensor_id,
+        b_co=pipeline.m_co.emission_matrix(
+            min_state_visits=min_visits, min_symbol_visits=min_visits
+        ),
+        b_ce=track.model.emission_matrix(min_state_visits=min_visits),
+        a_co=a_co,
+        a_co_state_ids=a_ids,
+        state_vectors=pipeline.state_vectors(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — raw alarms for a faulty and a non-faulty node
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    """Raw-alarm series of a faulty and a healthy node."""
+
+    faulty_sensor: int
+    healthy_sensor: int
+    faulty_series: Tuple[bool, ...]
+    healthy_series: Tuple[bool, ...]
+
+    @property
+    def faulty_rate(self) -> float:
+        """Raw-alarm rate of the faulty node."""
+        if not self.faulty_series:
+            return 0.0
+        return sum(self.faulty_series) / len(self.faulty_series)
+
+    @property
+    def healthy_rate(self) -> float:
+        """Raw-alarm (false-alarm) rate of the healthy node."""
+        if not self.healthy_series:
+            return 0.0
+        return sum(self.healthy_series) / len(self.healthy_series)
+
+    def render(self) -> str:
+        parts = [
+            render_alarm_series(
+                list(self.faulty_series),
+                title=f"Figure 12 — raw alarms, faulty sensor {self.faulty_sensor}",
+            ),
+            render_alarm_series(
+                list(self.healthy_series),
+                title=f"Figure 12 — raw alarms, healthy sensor {self.healthy_sensor}",
+            ),
+            render_kv(
+                {
+                    "faulty alarm rate": f"{100 * self.faulty_rate:.1f}%",
+                    "healthy false-alarm rate": f"{100 * self.healthy_rate:.1f}%"
+                    + "  (paper: ~1.5%)",
+                }
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def figure12(
+    run: Optional[ScenarioRun] = None,
+    faulty_sensor: int = 6,
+    healthy_sensor: int = 9,
+) -> Figure12Result:
+    """Fig. 12: raw alarm streams before filtering."""
+    run = run or faulty_sensors_scenario()
+    alarms = run.pipeline.alarm_generator
+    return Figure12Result(
+        faulty_sensor=faulty_sensor,
+        healthy_sensor=healthy_sensor,
+        faulty_series=tuple(alarms.alarm_series(faulty_sensor)),
+        healthy_series=tuple(alarms.alarm_series(healthy_sensor)),
+    )

@@ -1,0 +1,125 @@
+"""Shared plumbing for trace-driven experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.offline_clustering import initial_states_from_trace
+from ..config import PipelineConfig
+from ..core.pipeline import DetectionPipeline, WindowResult
+from ..faults.campaign import CampaignSpec
+from ..sensornet.collector import ObservationWindow
+from ..traces.gdi import GDITraceConfig, build_environment, generate_gdi_trace
+from ..traces.schema import Trace
+from ..traces.windows import window_trace_by_samples
+
+
+def compute_initial_states(
+    trace: Trace, config: PipelineConfig, seed: int = 0
+) -> np.ndarray:
+    """Table 1's initial state estimate: offline k-means on the data."""
+    observations = np.vstack([record.vector for record in trace.records])
+    return initial_states_from_trace(
+        observations, config.n_initial_states, seed=seed
+    )
+
+
+def run_pipeline(
+    trace: Trace,
+    config: Optional[PipelineConfig] = None,
+    initial_states: Optional[Sequence[np.ndarray]] = None,
+) -> DetectionPipeline:
+    """Feed a full trace through a fresh pipeline and return it."""
+    config = config or PipelineConfig()
+    pipeline = DetectionPipeline(config, initial_states=initial_states)
+    for window in window_trace_by_samples(
+        trace, config.window_samples, config.sample_period_minutes
+    ):
+        pipeline.process_window(window)
+    return pipeline
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one experiment scenario produced.
+
+    Attributes
+    ----------
+    name:
+        Scenario label.
+    trace:
+        The (possibly corrupted) delivered trace.
+    pipeline:
+        The pipeline after consuming the trace.
+    campaign:
+        The corruption plan, or None for clean runs.
+    config:
+        Pipeline configuration used.
+    trace_config:
+        Workload generator configuration used.
+    """
+
+    name: str
+    trace: Trace
+    pipeline: DetectionPipeline
+    campaign: Optional[CampaignSpec]
+    config: PipelineConfig
+    trace_config: GDITraceConfig
+
+    @property
+    def ground_truth(self) -> Dict[int, str]:
+        """sensor id -> planted corruption kind (empty for clean runs)."""
+        return self.campaign.ground_truth() if self.campaign else {}
+
+    def windows(self) -> List[ObservationWindow]:
+        """Re-window the trace (for detectors that need raw windows)."""
+        return window_trace_by_samples(
+            self.trace,
+            self.config.window_samples,
+            self.config.sample_period_minutes,
+        )
+
+
+def run_scenario(
+    name: str,
+    campaign: Optional[CampaignSpec] = None,
+    trace_config: Optional[GDITraceConfig] = None,
+    config: Optional[PipelineConfig] = None,
+    initial_states: Optional[Sequence[np.ndarray]] = None,
+    use_offline_initial_states: bool = False,
+) -> ScenarioRun:
+    """Generate a GDI trace (optionally corrupted) and run the pipeline.
+
+    Parameters
+    ----------
+    name:
+        Scenario label for reports.
+    campaign:
+        Corruption plan; None for a clean run.
+    trace_config / config:
+        Workload and pipeline configurations (Table 1 defaults).
+    initial_states:
+        Explicit initial model states.
+    use_offline_initial_states:
+        When True (and no explicit states given), compute the Table 1
+        offline-clustering estimate from the generated trace itself.
+    """
+    trace_config = trace_config or GDITraceConfig()
+    config = config or PipelineConfig()
+    environment = build_environment(trace_config)
+    injector = campaign.build_injector(environment) if campaign else None
+    trace = generate_gdi_trace(trace_config, corruption=injector)
+    if initial_states is None and use_offline_initial_states:
+        initial_states = compute_initial_states(trace, config)
+    pipeline = run_pipeline(trace, config, initial_states=initial_states)
+    return ScenarioRun(
+        name=name,
+        trace=trace,
+        pipeline=pipeline,
+        campaign=campaign,
+        config=config,
+        trace_config=trace_config,
+    )

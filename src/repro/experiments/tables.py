@@ -1,0 +1,205 @@
+"""One callable per table of the paper's evaluation (§4).
+
+Every function returns a result object carrying the reproduced matrix
+(or parameter list) plus the diagnosis the classifier reached, with a
+``render()`` that prints the paper-style labelled table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.reporting import render_emission_matrix, render_kv, render_table
+from ..config import PipelineConfig
+from ..core.classification import AnomalyType, Diagnosis
+from ..core.online_hmm import EmissionMatrix
+from .runner import ScenarioRun
+from .scenarios import (
+    creation_scenario,
+    deletion_scenario,
+    faulty_sensors_scenario,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — experimental setup parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The Table 1 parameter list for a configuration."""
+
+    rows: Tuple[Tuple[str, str, str], ...]
+
+    def value_of(self, parameter: str) -> str:
+        """Look up one parameter's value by symbol."""
+        for symbol, _, value in self.rows:
+            if symbol == parameter:
+                return value
+        raise KeyError(parameter)
+
+    def render(self) -> str:
+        return render_table(
+            ["Parameter", "Description", "Value"],
+            self.rows,
+            title="Table 1 — experimental setup",
+        )
+
+
+def table1(config: Optional[PipelineConfig] = None) -> Table1Result:
+    """Table 1: the experimental parameters (Table 1 defaults)."""
+    config = config or PipelineConfig()
+    return Table1Result(rows=tuple(config.table1_rows()))
+
+
+# ---------------------------------------------------------------------------
+# Shared helper for the per-sensor matrix tables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensorMatricesResult:
+    """B^CO and B^CE for one faulty sensor plus its diagnosis."""
+
+    sensor_id: int
+    b_co: EmissionMatrix
+    b_ce: EmissionMatrix
+    diagnosis: Diagnosis
+    state_vectors: Dict[int, np.ndarray]
+    title_co: str
+    title_ce: str
+
+    def render(self) -> str:
+        parts = [
+            render_emission_matrix(self.b_co, self.state_vectors, self.title_co),
+            render_emission_matrix(self.b_ce, self.state_vectors, self.title_ce),
+            render_kv(
+                {
+                    "diagnosis": self.diagnosis.anomaly_type.value,
+                    "category": self.diagnosis.category.value,
+                    "confidence": f"{self.diagnosis.confidence:.2f}",
+                }
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def _sensor_matrices(
+    run: ScenarioRun, sensor_id: int, title_co: str, title_ce: str
+) -> SensorMatricesResult:
+    pipeline = run.pipeline
+    track = pipeline.track_for(sensor_id)
+    if track is None:
+        raise RuntimeError(f"sensor {sensor_id} was never tracked")
+    diagnosis = pipeline.diagnose_sensor(sensor_id)
+    assert diagnosis is not None
+    min_visits = pipeline.config.classifier.min_state_visits
+    return SensorMatricesResult(
+        sensor_id=sensor_id,
+        b_co=pipeline.m_co.emission_matrix(
+            min_state_visits=min_visits, min_symbol_visits=min_visits
+        ),
+        b_ce=track.model.emission_matrix(min_state_visits=min_visits),
+        diagnosis=diagnosis,
+        state_vectors=pipeline.state_vectors(),
+        title_co=title_co,
+        title_ce=title_ce,
+    )
+
+
+def table2_3(run: Optional[ScenarioRun] = None) -> SensorMatricesResult:
+    """Tables 2 & 3: B^CO / B^CE for faulty sensor 6 → stuck-at."""
+    run = run or faulty_sensors_scenario()
+    return _sensor_matrices(
+        run,
+        sensor_id=6,
+        title_co="Table 2 — B^CO for faulty sensor 6 (stuck-at-value fault)",
+        title_ce="Table 3 — B^CE for faulty sensor 6 (stuck-at-value fault)",
+    )
+
+
+def table4_5(run: Optional[ScenarioRun] = None) -> SensorMatricesResult:
+    """Tables 4 & 5: B^CO / B^CE for faulty sensor 7 → calibration."""
+    run = run or faulty_sensors_scenario()
+    return _sensor_matrices(
+        run,
+        sensor_id=7,
+        title_co="Table 4 — B^CO for faulty sensor 7 (calibration fault)",
+        title_ce="Table 5 — B^CE for faulty sensor 7 (calibration fault)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 6 and 7 — the attack B^CO matrices
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttackMatrixResult:
+    """System-level B^CO under an injected attack plus its diagnosis."""
+
+    b_co: EmissionMatrix
+    system_diagnosis: Diagnosis
+    compromised_sensors: Tuple[int, ...]
+    tracked_sensors: Tuple[int, ...]
+    state_vectors: Dict[int, np.ndarray]
+    title: str
+
+    @property
+    def anomaly_type(self) -> AnomalyType:
+        """The system-level verdict."""
+        return self.system_diagnosis.anomaly_type
+
+    def render(self) -> str:
+        evidence = self.system_diagnosis.evidence
+        parts = [
+            render_emission_matrix(self.b_co, self.state_vectors, self.title),
+            render_kv(
+                {
+                    "system diagnosis": self.anomaly_type.value,
+                    "compromised (truth)": list(self.compromised_sensors),
+                    "tracked (detected)": list(self.tracked_sensors),
+                    "creation pairs": evidence.get("creation_pairs", ()),
+                    "deletion pairs": evidence.get("deletion_pairs", ()),
+                }
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def _attack_matrix(run: ScenarioRun, title: str) -> AttackMatrixResult:
+    pipeline = run.pipeline
+    min_visits = pipeline.config.classifier.min_state_visits
+    assert run.campaign is not None
+    return AttackMatrixResult(
+        b_co=pipeline.m_co.emission_matrix(
+            min_state_visits=min_visits, min_symbol_visits=min_visits
+        ),
+        system_diagnosis=pipeline.system_diagnosis(),
+        compromised_sensors=tuple(run.campaign.malicious_sensor_ids()),
+        tracked_sensors=tuple(
+            sorted({t.sensor_id for t in pipeline.tracks.tracks})
+        ),
+        state_vectors=pipeline.state_vectors(),
+        title=title,
+    )
+
+
+def table6(run: Optional[ScenarioRun] = None) -> AttackMatrixResult:
+    """Table 6: B^CO under a Dynamic Deletion attack (Fig. 10)."""
+    run = run or deletion_scenario()
+    return _attack_matrix(
+        run, "Table 6 — B^CO under a Dynamic Deletion attack"
+    )
+
+
+def table7(run: Optional[ScenarioRun] = None) -> AttackMatrixResult:
+    """Table 7: B^CO under a Dynamic Creation attack (Fig. 11)."""
+    run = run or creation_scenario()
+    return _attack_matrix(
+        run, "Table 7 — B^CO under a Dynamic Creation attack"
+    )

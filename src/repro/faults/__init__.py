@@ -1,0 +1,53 @@
+"""Fault and attack models plus their injection machinery (paper §3.3)."""
+
+from .attacks import (
+    BenignAttack,
+    DynamicChangeAttack,
+    DynamicCreationAttack,
+    DynamicDeletionAttack,
+    MixedAttack,
+    coordinated_report,
+)
+from .base import (
+    GDI_ADMISSIBLE_RANGES,
+    ActivationSchedule,
+    Corruptor,
+    clip_to_ranges,
+)
+from .campaign import CampaignEntry, CampaignSpec, choose_compromised
+from .errors import (
+    AdditiveFault,
+    CalibrationFault,
+    DriftFault,
+    IntermittentFault,
+    PacketDropper,
+    RandomNoiseFault,
+    StuckAtFault,
+)
+from .injector import CorruptionEvent, FaultInjector, Injection
+
+__all__ = [
+    "ActivationSchedule",
+    "AdditiveFault",
+    "BenignAttack",
+    "CalibrationFault",
+    "CampaignEntry",
+    "CampaignSpec",
+    "CorruptionEvent",
+    "Corruptor",
+    "DriftFault",
+    "DynamicChangeAttack",
+    "DynamicCreationAttack",
+    "DynamicDeletionAttack",
+    "FaultInjector",
+    "GDI_ADMISSIBLE_RANGES",
+    "Injection",
+    "IntermittentFault",
+    "MixedAttack",
+    "PacketDropper",
+    "RandomNoiseFault",
+    "StuckAtFault",
+    "choose_compromised",
+    "clip_to_ranges",
+    "coordinated_report",
+]

@@ -1,0 +1,261 @@
+"""Malicious-attack models (paper §3.3, "Model for Malicious Attacks").
+
+An adversary controls a fraction ``f`` of the sensors, knows the true
+environment Θ(t), and coordinates the compromised sensors to move the
+*network-wide mean* (which drives the observable state, Eq. 2) to a
+chosen target: if correct sensors report θ, the malicious sensors report
+
+    m = θ + (target - θ) / f
+
+so that ``(1-f)·θ + f·m = target``.  All malicious values are clipped to
+their admissible ranges to evade range checking, exactly as the paper's
+injection experiments do (§4.2).
+
+* :class:`DynamicCreationAttack` — introduce a spurious environment
+  state while the true environment sits still.
+* :class:`DynamicDeletionAttack` — hold the observable state fixed while
+  the true environment moves into a (now deleted) state.
+* :class:`DynamicChangeAttack` — remap state attributes one-to-one
+  without altering temporal structure.
+* :class:`MixedAttack` — a combination of the above.
+* :class:`BenignAttack` — a compromised sensor that mimics correct
+  behaviour; explicitly out of the paper's classification scope, present
+  so tests can confirm it raises no diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sensornet.messages import SensorMessage
+from .base import GDI_ADMISSIBLE_RANGES, Corruptor, clip_to_ranges
+
+
+def _as_vector(values: Sequence[float]) -> np.ndarray:
+    return np.asarray(values, dtype=float)
+
+
+def coordinated_report(
+    truth: np.ndarray,
+    target: np.ndarray,
+    fraction: float,
+    ranges: Sequence[Tuple[float, float]],
+) -> np.ndarray:
+    """The reading a colluding sensor must send to move the mean.
+
+    Parameters
+    ----------
+    truth:
+        What correct sensors report (≈ Θ(t)).
+    target:
+        Where the adversary wants the network-wide mean.
+    fraction:
+        Fraction of sensors the adversary controls, in (0, 1].
+    ranges:
+        Admissible per-attribute ranges to clip into.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    report = truth + (target - truth) / fraction
+    return clip_to_ranges(report, ranges)
+
+
+@dataclass
+class DynamicCreationAttack(Corruptor):
+    """Introduce a spurious state in the sensed environment.
+
+    While the true environment is inside the trigger region (or always,
+    when ``trigger`` is None), compromised sensors coordinate to pull the
+    observed mean to ``target`` — e.g. injecting hot/dry readings while
+    the island is actually cold and humid (Fig. 11).
+
+    The injection is *duty-cycled*: within each ``period_minutes`` span
+    the adversary injects only for the first ``on_fraction``.  This is
+    what makes the attack a state **creation**: the observable dynamics
+    alternate between the real state and the spurious one, splitting the
+    corresponding row of ``B^CO`` across two observation symbols (the
+    paper's Table 7 row (12,95) splits 0.35/0.65).  A non-alternating
+    pull would merely *rename* the state — a Dynamic Change.
+    """
+
+    #: The spurious state.  Chosen well off the temperature-humidity
+    #: anti-correlation manifold so the created observable state cannot
+    #: be confused with (or flap between) real environment states.
+    target: Tuple[float, ...] = (14.0, 55.0)
+    fraction: float = 1.0 / 3.0
+    trigger: Optional[Tuple[float, ...]] = None
+    trigger_radius: float = 6.0
+    #: Align the duty cycle with whole observation windows (240 min at
+    #: 0.5 = two 1-hour windows on, two off) so partially injected
+    #: windows — whose means land between states — stay rare.
+    period_minutes: float = 240.0
+    on_fraction: float = 0.5
+    ranges: Tuple[Tuple[float, float], ...] = GDI_ADMISSIBLE_RANGES
+    kind: str = "creation"
+    malicious: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period_minutes <= 0:
+            raise ValueError("period_minutes must be positive")
+        if not 0.0 < self.on_fraction <= 1.0:
+            raise ValueError("on_fraction must be in (0, 1]")
+
+    def _triggered(self, truth: np.ndarray) -> bool:
+        if self.trigger is None:
+            return True
+        distance = float(np.linalg.norm(truth - _as_vector(self.trigger)))
+        return distance <= self.trigger_radius
+
+    def _injecting(self, elapsed_minutes: float) -> bool:
+        phase = (elapsed_minutes % self.period_minutes) / self.period_minutes
+        return phase < self.on_fraction
+
+    def corrupt(
+        self, message: SensorMessage, truth: np.ndarray, elapsed_minutes: float
+    ) -> Optional[SensorMessage]:
+        if not self._triggered(truth) or not self._injecting(elapsed_minutes):
+            return message
+        report = coordinated_report(
+            truth, _as_vector(self.target), self.fraction, self.ranges
+        )
+        return message.with_attributes(report)
+
+
+@dataclass
+class DynamicDeletionAttack(Corruptor):
+    """Remove a valid state from the sensed environment.
+
+    Whenever the true environment comes within ``radius`` of
+    ``deleted_state``, compromised sensors pull the observed mean back to
+    ``hold_state`` so the network never sees the transition — e.g.
+    reporting low temperatures so the observable state stays at (20, 71)
+    while the island really warmed to (29, 56) (Fig. 10 / Table 6).
+    """
+
+    deleted_state: Tuple[float, ...] = (29.0, 56.0)
+    hold_state: Tuple[float, ...] = (20.0, 71.0)
+    radius: float = 6.0
+    fraction: float = 1.0 / 3.0
+    ranges: Tuple[Tuple[float, float], ...] = GDI_ADMISSIBLE_RANGES
+    kind: str = "deletion"
+    malicious: bool = True
+
+    def corrupt(
+        self, message: SensorMessage, truth: np.ndarray, elapsed_minutes: float
+    ) -> Optional[SensorMessage]:
+        distance = float(np.linalg.norm(truth - _as_vector(self.deleted_state)))
+        if distance > self.radius:
+            return message
+        report = coordinated_report(
+            truth, _as_vector(self.hold_state), self.fraction, self.ranges
+        )
+        return message.with_attributes(report)
+
+
+@dataclass
+class DynamicChangeAttack(Corruptor):
+    """Modify state attributes without changing temporal behaviour.
+
+    The adversary holds a one-to-one remapping of environment states:
+    whenever the true environment is near a source state, the observed
+    mean is pulled to that source's image.  Because the mapping is a
+    bijection, ``B^CO`` stays orthogonal and only the *attribute values*
+    of corresponding states differ — the left branch of Fig. 5.
+    """
+
+    mapping: Tuple[Tuple[Tuple[float, ...], Tuple[float, ...]], ...] = (
+        ((12.0, 94.0), (4.0, 82.0)),
+        ((17.0, 84.0), (9.0, 72.0)),
+        ((24.0, 70.0), (16.0, 58.0)),
+        ((31.0, 56.0), (23.0, 44.0)),
+    )
+    fraction: float = 1.0 / 3.0
+    ranges: Tuple[Tuple[float, float], ...] = GDI_ADMISSIBLE_RANGES
+    kind: str = "change"
+    malicious: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.mapping:
+            raise ValueError("mapping must be non-empty")
+        images = [tuple(image) for _, image in self.mapping]
+        if len(set(images)) != len(images):
+            raise ValueError("dynamic change mapping must be one-to-one")
+
+    def _image_of(self, truth: np.ndarray) -> np.ndarray:
+        sources = np.asarray([source for source, _ in self.mapping])
+        images = np.asarray([image for _, image in self.mapping])
+        distances = np.linalg.norm(sources - truth[None, :], axis=1)
+        return images[int(np.argmin(distances))]
+
+    def corrupt(
+        self, message: SensorMessage, truth: np.ndarray, elapsed_minutes: float
+    ) -> Optional[SensorMessage]:
+        target = self._image_of(truth)
+        report = coordinated_report(truth, target, self.fraction, self.ranges)
+        return message.with_attributes(report)
+
+
+@dataclass
+class MixedAttack(Corruptor):
+    """A combination of simple attacks (paper's *Mixed* category).
+
+    Each component inspects the truth in turn; the first component whose
+    corruption actually changes the report wins.  The default pairs a
+    creation with a deletion, which makes both the row and the column
+    Gram tests of ``B^CO`` fire simultaneously.
+    """
+
+    components: Tuple[Corruptor, ...] = field(
+        default_factory=lambda: (
+            DynamicCreationAttack(trigger=(12.0, 94.0), target=(14.0, 55.0)),
+            DynamicDeletionAttack(),
+        )
+    )
+    kind: str = "mixed"
+    malicious: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("components must be non-empty")
+
+    def corrupt(
+        self, message: SensorMessage, truth: np.ndarray, elapsed_minutes: float
+    ) -> Optional[SensorMessage]:
+        for component in self.components:
+            candidate = component.corrupt(message, truth, elapsed_minutes)
+            if candidate is None:
+                return None
+            if candidate.attributes != message.attributes:
+                return candidate
+        return message
+
+
+@dataclass
+class BenignAttack(Corruptor):
+    """A compromised sensor that behaves exactly like a correct one.
+
+    The paper explicitly excludes benign attackers from its
+    classification scope ("it does not alter the system behavior in any
+    manner", §3.3); the model exists so the test suite can verify that
+    the pipeline raises no diagnosis for such a sensor.
+    """
+
+    mimic_noise_std: float = 0.35
+    seed: int = 23
+    kind: str = "benign"
+    malicious: bool = True
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mimic_noise_std < 0:
+            raise ValueError("mimic_noise_std must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def corrupt(
+        self, message: SensorMessage, truth: np.ndarray, elapsed_minutes: float
+    ) -> Optional[SensorMessage]:
+        noise = self._rng.normal(0.0, self.mimic_noise_std, size=truth.shape)
+        return message.with_attributes(truth + noise)

@@ -1,0 +1,102 @@
+"""Fault/attack injection primitives.
+
+The paper's §3.3 defines a *sensor fault model* (stuck-at-value,
+calibration, additive, random-noise, unknown) and a *sensor attack model*
+(dynamic creation, deletion, change, mixed).  Both are modelled here as
+*corruptors*: transformations applied to a sensor's report before it
+enters the radio.  Faults are functions of the sensor's own reading;
+attacks are functions of the **true environment** — the adversary is an
+intelligent entity that knows the underlying dynamics (§3.4 intuition) —
+and of the fraction of sensors it controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sensornet.messages import SensorMessage
+
+#: Admissible per-attribute ranges for the GDI configuration.  The paper
+#: keeps malicious values in-range to evade range checking ("we have
+#: decided to maintain malicious values within their admissible range,
+#: e.g., [0, 100] for humidity", §4.2).
+GDI_ADMISSIBLE_RANGES: Tuple[Tuple[float, float], ...] = (
+    (-10.0, 60.0),  # temperature, °C
+    (0.0, 100.0),  # relative humidity, %
+)
+
+
+def clip_to_ranges(
+    values: np.ndarray, ranges: Sequence[Tuple[float, float]]
+) -> np.ndarray:
+    """Clip each attribute into its admissible range."""
+    values = np.asarray(values, dtype=float)
+    if len(ranges) != values.shape[-1]:
+        raise ValueError("ranges/attributes dimensionality mismatch")
+    lows = np.asarray([r[0] for r in ranges])
+    highs = np.asarray([r[1] for r in ranges])
+    if np.any(lows > highs):
+        raise ValueError("each range must satisfy low <= high")
+    return np.clip(values, lows, highs)
+
+
+@dataclass(frozen=True)
+class ActivationSchedule:
+    """When a corruptor is active.
+
+    Attributes
+    ----------
+    start_minutes:
+        Onset time (inclusive).
+    end_minutes:
+        End time (exclusive); ``None`` means active until the end of the
+        deployment.
+    """
+
+    start_minutes: float = 0.0
+    end_minutes: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_minutes < 0:
+            raise ValueError("start_minutes must be non-negative")
+        if self.end_minutes is not None and self.end_minutes <= self.start_minutes:
+            raise ValueError("end_minutes must exceed start_minutes")
+
+    def active_at(self, minutes: float) -> bool:
+        """True when the schedule covers ``minutes``."""
+        if minutes < self.start_minutes:
+            return False
+        return self.end_minutes is None or minutes < self.end_minutes
+
+    def elapsed(self, minutes: float) -> float:
+        """Minutes since onset (0 when not yet active)."""
+        return max(0.0, minutes - self.start_minutes)
+
+
+class Corruptor:
+    """Interface for fault and attack models.
+
+    Subclasses implement :meth:`corrupt`; ``truth`` is the actual
+    environment value Θ(t) at the report's timestamp and
+    ``elapsed_minutes`` the time since the corruptor's onset (so
+    degradation processes such as drift can progress).
+    """
+
+    #: Label used in diagnosis ground truth ("stuck_at", "creation", ...).
+    kind: str = "unknown"
+
+    #: Whether this corruptor models a malicious adversary (attack)
+    #: rather than an accidental fault.
+    malicious: bool = False
+
+    def corrupt(
+        self,
+        message: SensorMessage,
+        truth: np.ndarray,
+        elapsed_minutes: float,
+    ) -> Optional[SensorMessage]:
+        """Return the corrupted report (None suppresses the report)."""
+        raise NotImplementedError

@@ -1,0 +1,122 @@
+"""Applying corruptors to the live message stream.
+
+The :class:`FaultInjector` is the glue between :mod:`repro.faults` and
+the simulator: it is a valid
+:data:`~repro.sensornet.simulator.CorruptionStage`, holds the environment
+so adversaries can see Θ(t), dispatches per-sensor corruptors according
+to their activation schedules, and keeps a ground-truth log used by the
+evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..sensornet.environment import EnvironmentModel
+from ..sensornet.messages import SensorMessage
+from .base import ActivationSchedule, Corruptor
+
+
+@dataclass
+class Injection:
+    """One corruptor bound to a set of sensors and a schedule."""
+
+    corruptor: Corruptor
+    sensor_ids: Set[int]
+    schedule: ActivationSchedule = field(default_factory=ActivationSchedule)
+
+    def __post_init__(self) -> None:
+        self.sensor_ids = set(self.sensor_ids)
+        if not self.sensor_ids:
+            raise ValueError("an injection needs at least one sensor")
+
+    def applies_to(self, sensor_id: int, minutes: float) -> bool:
+        """True when this injection corrupts ``sensor_id`` at ``minutes``."""
+        return sensor_id in self.sensor_ids and self.schedule.active_at(minutes)
+
+
+@dataclass(frozen=True)
+class CorruptionEvent:
+    """Ground-truth log entry: one report was rewritten."""
+
+    sensor_id: int
+    timestamp: float
+    kind: str
+    malicious: bool
+
+
+@dataclass
+class FaultInjector:
+    """Applies scheduled corruptors to the message stream.
+
+    Parameters
+    ----------
+    environment:
+        The ground-truth model; adversarial corruptors receive Θ(t).
+    injections:
+        The active corruption plan.  When several injections cover the
+        same sensor at the same time, the first in the list wins —
+        deterministic and easy to reason about in campaign specs.
+    """
+
+    environment: EnvironmentModel
+    injections: List[Injection] = field(default_factory=list)
+    events: List[CorruptionEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        corruptor: Corruptor,
+        sensor_ids: Sequence[int],
+        schedule: Optional[ActivationSchedule] = None,
+    ) -> Injection:
+        """Register a corruptor for some sensors; returns the injection."""
+        injection = Injection(
+            corruptor=corruptor,
+            sensor_ids=set(sensor_ids),
+            schedule=schedule or ActivationSchedule(),
+        )
+        self.injections.append(injection)
+        return injection
+
+    def corrupted_sensor_ids(self) -> Set[int]:
+        """All sensors that any injection ever touches."""
+        ids: Set[int] = set()
+        for injection in self.injections:
+            ids |= injection.sensor_ids
+        return ids
+
+    def ground_truth_kind(self, sensor_id: int) -> Optional[str]:
+        """The corruptor kind planted on ``sensor_id`` (None if clean)."""
+        for injection in self.injections:
+            if sensor_id in injection.sensor_ids:
+                return injection.corruptor.kind
+        return None
+
+    def __call__(self, message: SensorMessage) -> Optional[SensorMessage]:
+        """CorruptionStage entry point used by the simulator."""
+        for injection in self.injections:
+            if not injection.applies_to(message.sensor_id, message.timestamp):
+                continue
+            truth = self.environment.value_at(message.timestamp)
+            corrupted = injection.corruptor.corrupt(
+                message, truth, injection.schedule.elapsed(message.timestamp)
+            )
+            if corrupted is not None and corrupted.attributes != message.attributes:
+                self.events.append(
+                    CorruptionEvent(
+                        sensor_id=message.sensor_id,
+                        timestamp=message.timestamp,
+                        kind=injection.corruptor.kind,
+                        malicious=injection.corruptor.malicious,
+                    )
+                )
+            return corrupted
+        return message
+
+    def events_by_sensor(self) -> Dict[int, List[CorruptionEvent]]:
+        """Group the ground-truth log per sensor."""
+        grouped: Dict[int, List[CorruptionEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.sensor_id, []).append(event)
+        return grouped

@@ -1,0 +1,73 @@
+"""Classic discrete-HMM substrate (Rabiner-style).
+
+The paper's online estimators for ``M_CO``/``M_CE`` live in
+:mod:`repro.core.online_hmm`; this package provides the conventional
+batch machinery (forward/backward, Viterbi, Baum-Welch, sampling) that
+backs the offline-HMM intrusion-detection baseline and the test suite.
+"""
+
+from .algorithms import (
+    ForwardBackwardResult,
+    backward,
+    expected_transitions,
+    forward,
+    forward_backward,
+    log_likelihood,
+    per_symbol_log_likelihood,
+    posterior_states,
+)
+from .baum_welch import TrainingResult, baum_welch, fit_random_restarts
+from .model import DiscreteHMM
+from .online_em import OnlineEMEstimator
+from .sampling import (
+    SampledSequence,
+    empirical_emission,
+    sample_markov_chain,
+    sample_sequence,
+)
+from .utils import (
+    StochasticityError,
+    as_prob_vector,
+    as_stochastic_matrix,
+    is_row_stochastic,
+    normalize_rows,
+    normalize_vector,
+    random_prob_vector,
+    random_stochastic_matrix,
+    stationary_distribution,
+    uniform_stochastic_matrix,
+)
+from .viterbi import ViterbiResult, decode, viterbi
+
+__all__ = [
+    "DiscreteHMM",
+    "ForwardBackwardResult",
+    "OnlineEMEstimator",
+    "SampledSequence",
+    "StochasticityError",
+    "TrainingResult",
+    "ViterbiResult",
+    "as_prob_vector",
+    "as_stochastic_matrix",
+    "backward",
+    "baum_welch",
+    "decode",
+    "empirical_emission",
+    "expected_transitions",
+    "fit_random_restarts",
+    "forward",
+    "forward_backward",
+    "is_row_stochastic",
+    "log_likelihood",
+    "normalize_rows",
+    "normalize_vector",
+    "per_symbol_log_likelihood",
+    "posterior_states",
+    "random_prob_vector",
+    "random_stochastic_matrix",
+    "sample_markov_chain",
+    "sample_sequence",
+    "stationary_distribution",
+    "uniform_stochastic_matrix",
+    "viterbi",
+]

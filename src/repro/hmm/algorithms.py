@@ -1,0 +1,167 @@
+"""Scaled forward/backward inference for :class:`~repro.hmm.model.DiscreteHMM`.
+
+Implements the classic Rabiner recursions with per-step scaling so that
+sequence likelihoods of arbitrary length can be computed in log space
+without underflow.  These routines back both the Warrender-style offline
+HMM baseline (:mod:`repro.baselines.offline_hmm`) and the Baum-Welch
+re-estimator (:mod:`repro.hmm.baum_welch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .model import DiscreteHMM
+
+#: Scale factors below this are clamped to keep logs finite for
+#: impossible observations (likelihood -> -inf is reported separately).
+_SCALE_FLOOR = 1e-300
+
+
+@dataclass(frozen=True)
+class ForwardBackwardResult:
+    """Container for the scaled forward-backward quantities.
+
+    Attributes
+    ----------
+    log_likelihood:
+        ``log Pr{O | model}`` of the full observation sequence.
+    alpha:
+        ``(T, M)`` scaled forward variables; row ``t`` is the filtering
+        distribution ``Pr{s_t | o_1..o_t}``.
+    beta:
+        ``(T, M)`` scaled backward variables.
+    gamma:
+        ``(T, M)`` posterior state marginals ``Pr{s_t | O}``.
+    scales:
+        ``(T,)`` per-step scaling factors ``c_t``.
+    """
+
+    log_likelihood: float
+    alpha: np.ndarray
+    beta: np.ndarray
+    gamma: np.ndarray
+    scales: np.ndarray
+
+
+def forward(model: DiscreteHMM, observations: Sequence[int]) -> np.ndarray:
+    """Run the scaled forward pass; return the ``(T, M)`` alpha matrix."""
+    return forward_backward(model, observations).alpha
+
+
+def backward(model: DiscreteHMM, observations: Sequence[int]) -> np.ndarray:
+    """Run the scaled backward pass; return the ``(T, M)`` beta matrix."""
+    return forward_backward(model, observations).beta
+
+
+def log_likelihood(model: DiscreteHMM, observations: Sequence[int]) -> float:
+    """Return ``log Pr{O | model}`` for a symbol sequence.
+
+    Returns ``-inf`` if the sequence is impossible under the model.
+    """
+    obs = model.validate_observations(observations)
+    loglik = 0.0
+    alpha = model.initial * model.emission[:, obs[0]]
+    total = alpha.sum()
+    if total <= 0.0:
+        return float("-inf")
+    loglik += float(np.log(total))
+    alpha = alpha / total
+    for symbol in obs[1:]:
+        alpha = (alpha @ model.transition) * model.emission[:, symbol]
+        total = alpha.sum()
+        if total <= 0.0:
+            return float("-inf")
+        loglik += float(np.log(total))
+        alpha = alpha / total
+    return loglik
+
+
+def forward_backward(
+    model: DiscreteHMM, observations: Sequence[int]
+) -> ForwardBackwardResult:
+    """Run the full scaled forward-backward algorithm.
+
+    The returned gamma rows each sum to one; the alpha/beta matrices use
+    Rabiner's scaling convention, so ``alpha[t]`` is already normalised.
+    """
+    obs = model.validate_observations(observations)
+    n_steps = obs.size
+    n_states = model.n_states
+
+    alpha = np.zeros((n_steps, n_states))
+    beta = np.zeros((n_steps, n_states))
+    scales = np.zeros(n_steps)
+
+    alpha[0] = model.initial * model.emission[:, obs[0]]
+    scales[0] = max(alpha[0].sum(), _SCALE_FLOOR)
+    alpha[0] /= scales[0]
+    for t in range(1, n_steps):
+        alpha[t] = (alpha[t - 1] @ model.transition) * model.emission[:, obs[t]]
+        scales[t] = max(alpha[t].sum(), _SCALE_FLOOR)
+        alpha[t] /= scales[t]
+
+    beta[-1] = 1.0
+    for t in range(n_steps - 2, -1, -1):
+        beta[t] = model.transition @ (model.emission[:, obs[t + 1]] * beta[t + 1])
+        beta[t] /= scales[t + 1]
+
+    gamma = alpha * beta
+    gamma_sums = gamma.sum(axis=1, keepdims=True)
+    gamma_sums[gamma_sums <= 0.0] = 1.0
+    gamma = gamma / gamma_sums
+
+    if np.any(scales <= _SCALE_FLOOR):
+        loglik = float("-inf")
+    else:
+        loglik = float(np.log(scales).sum())
+    return ForwardBackwardResult(
+        log_likelihood=loglik, alpha=alpha, beta=beta, gamma=gamma, scales=scales
+    )
+
+
+def posterior_states(
+    model: DiscreteHMM, observations: Sequence[int]
+) -> np.ndarray:
+    """Return the ``(T, M)`` posterior state marginals ``Pr{s_t | O}``."""
+    return forward_backward(model, observations).gamma
+
+
+def expected_transitions(
+    model: DiscreteHMM, observations: Sequence[int]
+) -> np.ndarray:
+    """Return the ``(M, M)`` expected transition-count matrix under ``O``.
+
+    This is the summed xi statistic used by Baum-Welch:
+    ``sum_t Pr{s_t=i, s_{t+1}=j | O}``.
+    """
+    obs = model.validate_observations(observations)
+    result = forward_backward(model, obs)
+    counts = np.zeros((model.n_states, model.n_states))
+    for t in range(obs.size - 1):
+        # xi_t[i, j] proportional to alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j)
+        xi = (
+            result.alpha[t][:, None]
+            * model.transition
+            * model.emission[:, obs[t + 1]][None, :]
+            * result.beta[t + 1][None, :]
+        )
+        total = xi.sum()
+        if total > 0.0:
+            counts += xi / total
+    return counts
+
+
+def per_symbol_log_likelihood(
+    model: DiscreteHMM, observations: Sequence[int]
+) -> float:
+    """Length-normalised log-likelihood, the usual anomaly-score form.
+
+    Host-based HMM intrusion detectors (Warrender et al. [5]) threshold
+    this quantity so that scores are comparable across trace lengths.
+    """
+    obs = model.validate_observations(observations)
+    return log_likelihood(model, obs) / float(obs.size)

@@ -1,0 +1,165 @@
+"""Baum-Welch (EM) re-estimation for discrete HMMs.
+
+This is the batch trainer used by the Warrender-style offline-HMM
+baseline [5 in the paper]: an attack-free *training phase* fits the model,
+after which low-likelihood traces are flagged as anomalous.  The paper's
+own method deliberately avoids this trainer (no attack-free phase is
+required); the implementation exists to make the comparison concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .algorithms import forward_backward
+from .model import DiscreteHMM
+from .utils import normalize_rows, normalize_vector
+
+#: Additive smoothing applied to accumulated counts so no probability is
+#: re-estimated to exactly zero (keeps held-out likelihoods finite).
+_SMOOTHING = 1e-6
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Outcome of a Baum-Welch fit.
+
+    Attributes
+    ----------
+    model:
+        The re-estimated HMM.
+    log_likelihoods:
+        Total training log-likelihood after each EM iteration.
+    converged:
+        True if the improvement dropped below ``tol`` before
+        ``max_iterations`` was reached.
+    iterations:
+        Number of EM iterations actually performed.
+    """
+
+    model: DiscreteHMM
+    log_likelihoods: List[float]
+    converged: bool
+    iterations: int
+
+
+def baum_welch(
+    model: DiscreteHMM,
+    sequences: Sequence[Sequence[int]],
+    max_iterations: int = 50,
+    tol: float = 1e-4,
+) -> TrainingResult:
+    """Fit ``model`` to one or more observation sequences with EM.
+
+    Parameters
+    ----------
+    model:
+        Initial model (its sizes define the state/symbol alphabets).
+    sequences:
+        Non-empty list of integer symbol sequences.
+    max_iterations:
+        Upper bound on EM iterations.
+    tol:
+        Convergence threshold on total log-likelihood improvement.
+
+    Returns
+    -------
+    TrainingResult
+        Re-estimated model plus the likelihood trajectory.
+    """
+    if not sequences:
+        raise ValueError("baum_welch requires at least one sequence")
+    current = model.copy()
+    history: List[float] = []
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        total_loglik, updated = _em_step(current, sequences)
+        history.append(total_loglik)
+        current = updated
+        if len(history) >= 2:
+            improvement = history[-1] - history[-2]
+            if abs(improvement) < tol:
+                converged = True
+                break
+    return TrainingResult(
+        model=current,
+        log_likelihoods=history,
+        converged=converged,
+        iterations=iterations,
+    )
+
+
+def _em_step(
+    model: DiscreteHMM, sequences: Sequence[Sequence[int]]
+) -> "tuple[float, DiscreteHMM]":
+    """One full EM iteration over all sequences; returns (loglik, model)."""
+    n_states = model.n_states
+    n_symbols = model.n_symbols
+
+    initial_counts = np.zeros(n_states)
+    transition_counts = np.zeros((n_states, n_states))
+    emission_counts = np.zeros((n_states, n_symbols))
+    total_loglik = 0.0
+
+    for sequence in sequences:
+        obs = model.validate_observations(sequence)
+        result = forward_backward(model, obs)
+        total_loglik += result.log_likelihood
+
+        initial_counts += result.gamma[0]
+        for symbol in range(n_symbols):
+            mask = obs == symbol
+            if np.any(mask):
+                emission_counts[:, symbol] += result.gamma[mask].sum(axis=0)
+        for t in range(obs.size - 1):
+            xi = (
+                result.alpha[t][:, None]
+                * model.transition
+                * model.emission[:, obs[t + 1]][None, :]
+                * result.beta[t + 1][None, :]
+            )
+            xi_total = xi.sum()
+            if xi_total > 0.0:
+                transition_counts += xi / xi_total
+
+    updated = DiscreteHMM(
+        transition=normalize_rows(transition_counts + _SMOOTHING),
+        emission=normalize_rows(emission_counts + _SMOOTHING),
+        initial=normalize_vector(initial_counts + _SMOOTHING),
+        state_names=model.state_names,
+        symbol_names=model.symbol_names,
+    )
+    return total_loglik, updated
+
+
+def fit_random_restarts(
+    n_states: int,
+    n_symbols: int,
+    sequences: Sequence[Sequence[int]],
+    rng: np.random.Generator,
+    n_restarts: int = 3,
+    max_iterations: int = 50,
+    tol: float = 1e-4,
+) -> TrainingResult:
+    """Fit with several random initialisations, keeping the best fit.
+
+    EM is only locally convergent; a few restarts is the standard remedy
+    and is cheap at the state counts used in this reproduction (5-10).
+    """
+    if n_restarts < 1:
+        raise ValueError("n_restarts must be >= 1")
+    best: Optional[TrainingResult] = None
+    for _ in range(n_restarts):
+        initial = DiscreteHMM.random(n_states, n_symbols, rng)
+        result = baum_welch(
+            initial, sequences, max_iterations=max_iterations, tol=tol
+        )
+        if best is None or result.log_likelihoods[-1] > best.log_likelihoods[-1]:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,132 @@
+"""Discrete Hidden Markov Model container.
+
+This is the classic Rabiner-style HMM [8 in the paper]: ``M`` hidden
+states, ``N`` discrete observation symbols, a row-stochastic transition
+matrix ``A``, a row-stochastic emission matrix ``B``, and an initial state
+distribution ``pi``.  The container is deliberately dumb: the inference
+algorithms live in :mod:`repro.hmm.algorithms`, :mod:`repro.hmm.viterbi`,
+and :mod:`repro.hmm.baum_welch`, and the paper's *online* estimator (used
+for ``M_CO``/``M_CE``) lives in :mod:`repro.core.online_hmm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .utils import (
+    as_prob_vector,
+    as_stochastic_matrix,
+    random_prob_vector,
+    random_stochastic_matrix,
+    uniform_stochastic_matrix,
+)
+
+
+@dataclass
+class DiscreteHMM:
+    """A discrete-observation hidden Markov model.
+
+    Attributes
+    ----------
+    transition:
+        ``(M, M)`` row-stochastic state-transition matrix ``A`` where
+        ``A[i, j] = Pr{s_{t+1}=j | s_t=i}``.
+    emission:
+        ``(M, N)`` row-stochastic observation matrix ``B`` where
+        ``B[i, k] = Pr{v_t=k | s_t=i}``.
+    initial:
+        ``(M,)`` initial state distribution ``pi``.
+    state_names:
+        Optional human-readable labels for the hidden states.
+    symbol_names:
+        Optional human-readable labels for the observation symbols.
+    """
+
+    transition: np.ndarray
+    emission: np.ndarray
+    initial: np.ndarray
+    state_names: Optional[Sequence[str]] = field(default=None)
+    symbol_names: Optional[Sequence[str]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.transition = as_stochastic_matrix(self.transition, "transition")
+        self.emission = as_stochastic_matrix(self.emission, "emission")
+        self.initial = as_prob_vector(self.initial, "initial")
+        m_a, m_a2 = self.transition.shape
+        if m_a != m_a2:
+            raise ValueError("transition matrix must be square")
+        m_b = self.emission.shape[0]
+        if m_a != m_b:
+            raise ValueError(
+                f"transition has {m_a} states but emission has {m_b}"
+            )
+        if self.initial.shape[0] != m_a:
+            raise ValueError("initial distribution length mismatch")
+        if self.state_names is not None and len(self.state_names) != m_a:
+            raise ValueError("state_names length mismatch")
+        if self.symbol_names is not None and len(self.symbol_names) != self.n_symbols:
+            raise ValueError("symbol_names length mismatch")
+
+    @property
+    def n_states(self) -> int:
+        """Number of hidden states ``M``."""
+        return self.transition.shape[0]
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of observation symbols ``N``."""
+        return self.emission.shape[1]
+
+    def copy(self) -> "DiscreteHMM":
+        """Return a deep copy of the model."""
+        return DiscreteHMM(
+            transition=self.transition.copy(),
+            emission=self.emission.copy(),
+            initial=self.initial.copy(),
+            state_names=list(self.state_names) if self.state_names else None,
+            symbol_names=list(self.symbol_names) if self.symbol_names else None,
+        )
+
+    def validate_observations(self, observations: Sequence[int]) -> np.ndarray:
+        """Check a symbol sequence against the model's alphabet.
+
+        Returns the sequence as an integer array.  Raises ``ValueError``
+        for symbols outside ``[0, N)`` or an empty sequence.
+        """
+        obs = np.asarray(observations, dtype=int)
+        if obs.ndim != 1 or obs.size == 0:
+            raise ValueError("observations must be a non-empty 1-D sequence")
+        if obs.min() < 0 or obs.max() >= self.n_symbols:
+            raise ValueError(
+                f"observation symbols must be in [0, {self.n_symbols})"
+            )
+        return obs
+
+    @classmethod
+    def uniform(cls, n_states: int, n_symbols: int) -> "DiscreteHMM":
+        """Build the maximally uninformative model of the given size."""
+        return cls(
+            transition=uniform_stochastic_matrix(n_states, n_states),
+            emission=uniform_stochastic_matrix(n_states, n_symbols),
+            initial=np.full(n_states, 1.0 / n_states),
+        )
+
+    @classmethod
+    def random(
+        cls, n_states: int, n_symbols: int, rng: np.random.Generator
+    ) -> "DiscreteHMM":
+        """Draw a random model from flat Dirichlet priors (for tests/init)."""
+        return cls(
+            transition=random_stochastic_matrix(n_states, n_states, rng),
+            emission=random_stochastic_matrix(n_states, n_symbols, rng),
+            initial=random_prob_vector(n_states, rng),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiscreteHMM(n_states={self.n_states}, "
+            f"n_symbols={self.n_symbols})"
+        )

@@ -1,0 +1,79 @@
+"""Sampling from discrete HMMs and Markov chains.
+
+Used by tests (to generate sequences with known ground truth) and by the
+synthetic workload generators in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import DiscreteHMM
+from .utils import as_prob_vector, as_stochastic_matrix
+
+
+@dataclass(frozen=True)
+class SampledSequence:
+    """A jointly sampled hidden path and observation sequence."""
+
+    states: np.ndarray
+    observations: np.ndarray
+
+
+def sample_sequence(
+    model: DiscreteHMM, length: int, rng: np.random.Generator
+) -> SampledSequence:
+    """Draw a length-``length`` (states, observations) pair from ``model``."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    states = np.zeros(length, dtype=int)
+    observations = np.zeros(length, dtype=int)
+
+    states[0] = rng.choice(model.n_states, p=model.initial)
+    observations[0] = rng.choice(model.n_symbols, p=model.emission[states[0]])
+    for t in range(1, length):
+        states[t] = rng.choice(model.n_states, p=model.transition[states[t - 1]])
+        observations[t] = rng.choice(model.n_symbols, p=model.emission[states[t]])
+    return SampledSequence(states=states, observations=observations)
+
+
+def sample_markov_chain(
+    transition: np.ndarray,
+    initial: np.ndarray,
+    length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a state path from a plain first-order Markov chain."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    trans = as_stochastic_matrix(transition, "transition")
+    init = as_prob_vector(initial, "initial")
+    if trans.shape[0] != init.shape[0]:
+        raise ValueError("transition/initial size mismatch")
+    path = np.zeros(length, dtype=int)
+    path[0] = rng.choice(init.size, p=init)
+    for t in range(1, length):
+        path[t] = rng.choice(init.size, p=trans[path[t - 1]])
+    return path
+
+
+def empirical_emission(
+    states: np.ndarray, observations: np.ndarray, n_states: int, n_symbols: int
+) -> np.ndarray:
+    """Estimate an emission matrix from aligned (state, symbol) pairs.
+
+    Rows with no evidence become uniform.  Handy for checking sampled
+    sequences against the generating model in tests.
+    """
+    states = np.asarray(states, dtype=int)
+    observations = np.asarray(observations, dtype=int)
+    if states.shape != observations.shape:
+        raise ValueError("states and observations must align")
+    counts = np.zeros((n_states, n_symbols))
+    for state, symbol in zip(states, observations):
+        counts[state, symbol] += 1.0
+    sums = counts.sum(axis=1, keepdims=True)
+    uniform = np.full((1, n_symbols), 1.0 / n_symbols)
+    return np.where(sums > 0, counts / np.maximum(sums, 1.0), uniform)

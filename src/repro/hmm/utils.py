@@ -1,0 +1,143 @@
+"""Stochastic-matrix and probability-vector helpers for the HMM substrate.
+
+All HMM code in :mod:`repro.hmm` manipulates row-stochastic matrices
+(every row sums to one) and probability vectors.  This module centralises
+creation, validation, and normalisation of those objects so that numeric
+tolerances are applied consistently across the package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Absolute tolerance used when checking that probabilities sum to one.
+PROB_ATOL = 1e-8
+
+#: Floor applied when normalising to avoid division by zero.
+_NORM_FLOOR = 1e-300
+
+
+class StochasticityError(ValueError):
+    """Raised when a matrix or vector fails a stochasticity check."""
+
+
+def as_prob_vector(values, name: str = "vector") -> np.ndarray:
+    """Validate and return ``values`` as a 1-D probability vector.
+
+    Parameters
+    ----------
+    values:
+        Array-like of non-negative floats summing to one.
+    name:
+        Human-readable name used in error messages.
+
+    Raises
+    ------
+    StochasticityError
+        If the vector has negative entries or does not sum to one.
+    """
+    vec = np.asarray(values, dtype=float)
+    if vec.ndim != 1:
+        raise StochasticityError(f"{name} must be 1-D, got shape {vec.shape}")
+    if np.any(vec < -PROB_ATOL):
+        raise StochasticityError(f"{name} has negative entries")
+    total = vec.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise StochasticityError(f"{name} sums to {total!r}, expected 1.0")
+    return np.clip(vec, 0.0, None)
+
+
+def as_stochastic_matrix(values, name: str = "matrix") -> np.ndarray:
+    """Validate and return ``values`` as a row-stochastic 2-D matrix.
+
+    Raises
+    ------
+    StochasticityError
+        If any entry is negative or any row does not sum to one.
+    """
+    mat = np.asarray(values, dtype=float)
+    if mat.ndim != 2:
+        raise StochasticityError(f"{name} must be 2-D, got shape {mat.shape}")
+    if np.any(mat < -PROB_ATOL):
+        raise StochasticityError(f"{name} has negative entries")
+    row_sums = mat.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-6):
+        bad = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise StochasticityError(
+            f"{name} row {bad} sums to {row_sums[bad]!r}, expected 1.0"
+        )
+    return np.clip(mat, 0.0, None)
+
+
+def normalize_rows(mat: np.ndarray) -> np.ndarray:
+    """Return a copy of ``mat`` with every row rescaled to sum to one.
+
+    Rows that sum to (numerically) zero are replaced by the uniform
+    distribution, which is the conventional neutral choice for
+    re-estimation steps that received no evidence for a state.
+    """
+    mat = np.asarray(mat, dtype=float)
+    out = mat.copy()
+    sums = out.sum(axis=1)
+    zero_rows = sums <= _NORM_FLOOR
+    if np.any(zero_rows):
+        out[zero_rows] = 1.0 / out.shape[1]
+        sums = out.sum(axis=1)
+    return out / sums[:, None]
+
+
+def normalize_vector(vec: np.ndarray) -> np.ndarray:
+    """Return ``vec`` rescaled to sum to one (uniform if all-zero)."""
+    vec = np.asarray(vec, dtype=float)
+    total = vec.sum()
+    if total <= _NORM_FLOOR:
+        return np.full(vec.shape, 1.0 / vec.size)
+    return vec / total
+
+
+def random_stochastic_matrix(
+    n_rows: int, n_cols: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw a dense row-stochastic matrix from a flat Dirichlet prior."""
+    if n_rows <= 0 or n_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    return rng.dirichlet(np.ones(n_cols), size=n_rows)
+
+
+def random_prob_vector(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a probability vector from a flat Dirichlet prior."""
+    if n <= 0:
+        raise ValueError("vector length must be positive")
+    return rng.dirichlet(np.ones(n))
+
+
+def uniform_stochastic_matrix(n_rows: int, n_cols: int) -> np.ndarray:
+    """Return the maximally uninformative row-stochastic matrix."""
+    if n_rows <= 0 or n_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    return np.full((n_rows, n_cols), 1.0 / n_cols)
+
+
+def is_row_stochastic(mat: np.ndarray, atol: float = 1e-6) -> bool:
+    """Return True if ``mat`` is non-negative with unit row sums."""
+    mat = np.asarray(mat, dtype=float)
+    if mat.ndim != 2:
+        return False
+    if np.any(mat < -PROB_ATOL):
+        return False
+    return bool(np.allclose(mat.sum(axis=1), 1.0, atol=atol))
+
+
+def stationary_distribution(transition: np.ndarray) -> np.ndarray:
+    """Compute a stationary distribution of a row-stochastic matrix.
+
+    Uses the left eigenvector of eigenvalue 1.  For reducible chains the
+    returned distribution corresponds to one recurrent class; callers that
+    need per-class behaviour should decompose the chain first.
+    """
+    mat = as_stochastic_matrix(transition, "transition")
+    eigvals, eigvecs = np.linalg.eig(mat.T)
+    idx = int(np.argmin(np.abs(eigvals - 1.0)))
+    vec = np.real(eigvecs[:, idx])
+    vec = np.abs(vec)
+    return normalize_vector(vec)

@@ -1,0 +1,74 @@
+"""Viterbi decoding for :class:`~repro.hmm.model.DiscreteHMM`.
+
+Finds the single most probable hidden-state path explaining a discrete
+observation sequence, in log space for numerical robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .model import DiscreteHMM
+
+
+@dataclass(frozen=True)
+class ViterbiResult:
+    """Most probable path and its (log) score.
+
+    Attributes
+    ----------
+    path:
+        ``(T,)`` integer array of hidden-state indices.
+    log_probability:
+        ``log Pr{path, O | model}`` of the jointly most probable
+        explanation; ``-inf`` if the sequence is impossible.
+    """
+
+    path: np.ndarray
+    log_probability: float
+
+
+def _safe_log(mat: np.ndarray) -> np.ndarray:
+    """Elementwise log with zeros mapped to -inf without warnings."""
+    out = np.full(mat.shape, -np.inf)
+    positive = mat > 0.0
+    out[positive] = np.log(mat[positive])
+    return out
+
+
+def viterbi(model: DiscreteHMM, observations: Sequence[int]) -> ViterbiResult:
+    """Decode the most probable hidden-state path for ``observations``."""
+    obs = model.validate_observations(observations)
+    n_steps = obs.size
+    n_states = model.n_states
+
+    log_a = _safe_log(model.transition)
+    log_b = _safe_log(model.emission)
+    log_pi = _safe_log(model.initial)
+
+    delta = np.zeros((n_steps, n_states))
+    backpointer = np.zeros((n_steps, n_states), dtype=int)
+
+    delta[0] = log_pi + log_b[:, obs[0]]
+    for t in range(1, n_steps):
+        # candidates[i, j] = delta[t-1, i] + log a_ij
+        candidates = delta[t - 1][:, None] + log_a
+        backpointer[t] = np.argmax(candidates, axis=0)
+        delta[t] = candidates[backpointer[t], np.arange(n_states)] + log_b[:, obs[t]]
+
+    path = np.zeros(n_steps, dtype=int)
+    path[-1] = int(np.argmax(delta[-1]))
+    for t in range(n_steps - 2, -1, -1):
+        path[t] = backpointer[t + 1, path[t + 1]]
+
+    return ViterbiResult(
+        path=path, log_probability=float(delta[-1, path[-1]])
+    )
+
+
+def decode(model: DiscreteHMM, observations: Sequence[int]) -> np.ndarray:
+    """Convenience wrapper returning just the most probable path."""
+    return viterbi(model, observations).path

@@ -1,0 +1,49 @@
+"""Sensor-network simulation substrate.
+
+Provides everything the paper's evaluation substrate provided in
+hardware: a ground-truth environment Θ(t), noisy multimodal motes, lossy
+radio links, and a collector node that builds the Eq.-1 observation
+windows consumed by the detection pipeline.
+"""
+
+from .collector import (
+    CollectorNode,
+    DeliveryStats,
+    ObservationWindow,
+    windows_from_messages,
+)
+from .environment import (
+    MINUTES_PER_DAY,
+    ConstantEnvironment,
+    EnvironmentModel,
+    GDIDiurnalEnvironment,
+    PiecewiseRegimeEnvironment,
+)
+from .messages import DeliveryRecord, MalformedMessage, SensorMessage
+from .network import RadioLink, StarNetwork
+from .sensor import BatteryModel, Mote
+from .simulator import NetworkSimulator, SimulationReport
+from .topology import Deployment, MotePlacement
+
+__all__ = [
+    "BatteryModel",
+    "CollectorNode",
+    "ConstantEnvironment",
+    "DeliveryRecord",
+    "DeliveryStats",
+    "Deployment",
+    "EnvironmentModel",
+    "GDIDiurnalEnvironment",
+    "MINUTES_PER_DAY",
+    "MalformedMessage",
+    "Mote",
+    "MotePlacement",
+    "NetworkSimulator",
+    "ObservationWindow",
+    "PiecewiseRegimeEnvironment",
+    "RadioLink",
+    "SensorMessage",
+    "SimulationReport",
+    "StarNetwork",
+    "windows_from_messages",
+]

@@ -1,0 +1,178 @@
+"""Environment models Θ(t) for the sensed phenomenon.
+
+The paper models the monitored region as an unknown multidimensional
+parameter ``Θ(t)`` that changes slowly relative to the observation window
+(§3.1).  Three concrete models are provided:
+
+* :class:`GDIDiurnalEnvironment` — calibrated to the Great Duck Island
+  July-2003 traces used in the paper's evaluation: temperature swings
+  roughly 11-32 °C over the day, relative humidity moves anti-correlated
+  between roughly 55 and 96 %, and slow weather fronts modulate both.
+  Under the paper's pipeline this environment yields ~4 dominant model
+  states close to the Fig. 7 states (12,94), (17,84), (24,70), (31,56).
+* :class:`PiecewiseRegimeEnvironment` — holds a sequence of explicit
+  regimes; ideal for tests that need an exactly known state sequence.
+* :class:`ConstantEnvironment` — a degenerate, fixed Θ; used to isolate
+  noise effects.
+
+All models are deterministic given their seed so experiments reproduce
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Minutes in one day, the fundamental period of the diurnal models.
+MINUTES_PER_DAY = 24 * 60
+
+
+class EnvironmentModel:
+    """Interface: the true (hidden) environment attribute vector at time t."""
+
+    #: Names of the attributes returned by :meth:`value_at`.
+    attribute_names: Tuple[str, ...] = ()
+
+    def value_at(self, minutes: float) -> np.ndarray:
+        """Return Θ(t) for ``minutes`` since the deployment start."""
+        raise NotImplementedError
+
+    @property
+    def n_attributes(self) -> int:
+        """Dimensionality of Θ(t)."""
+        return len(self.attribute_names)
+
+
+@dataclass
+class ConstantEnvironment(EnvironmentModel):
+    """A fixed environment; Θ(t) never changes."""
+
+    attributes: Tuple[float, ...] = (20.0, 75.0)
+    attribute_names: Tuple[str, ...] = ("temperature", "humidity")
+
+    def value_at(self, minutes: float) -> np.ndarray:
+        return np.asarray(self.attributes, dtype=float)
+
+
+@dataclass
+class PiecewiseRegimeEnvironment(EnvironmentModel):
+    """An environment that steps through explicit regimes.
+
+    Parameters
+    ----------
+    regimes:
+        List of attribute tuples, visited in order.
+    dwell_minutes:
+        Time spent in each regime before moving to the next.
+    cycle:
+        If True, wrap around to the first regime after the last one;
+        otherwise hold the last regime forever.
+    """
+
+    regimes: Sequence[Tuple[float, ...]] = field(
+        default_factory=lambda: [(12.0, 94.0), (17.0, 84.0), (24.0, 70.0), (31.0, 56.0)]
+    )
+    dwell_minutes: float = 6 * 60.0
+    cycle: bool = True
+    attribute_names: Tuple[str, ...] = ("temperature", "humidity")
+
+    def __post_init__(self) -> None:
+        if not self.regimes:
+            raise ValueError("regimes must be non-empty")
+        if self.dwell_minutes <= 0:
+            raise ValueError("dwell_minutes must be positive")
+        widths = {len(r) for r in self.regimes}
+        if len(widths) != 1:
+            raise ValueError("all regimes must have the same dimensionality")
+
+    def regime_index_at(self, minutes: float) -> int:
+        """Index of the regime active at ``minutes``."""
+        step = int(minutes // self.dwell_minutes)
+        if self.cycle:
+            return step % len(self.regimes)
+        return min(step, len(self.regimes) - 1)
+
+    def value_at(self, minutes: float) -> np.ndarray:
+        return np.asarray(self.regimes[self.regime_index_at(minutes)], dtype=float)
+
+
+@dataclass
+class GDIDiurnalEnvironment(EnvironmentModel):
+    """Synthetic Great Duck Island summer environment (see DESIGN.md §2).
+
+    Temperature follows a sinusoidal diurnal cycle with its minimum just
+    before dawn, modulated by a slowly varying weather-front offset drawn
+    once per day from a seeded RNG.  Relative humidity is anti-correlated
+    with temperature (warm afternoons are dry, cold nights saturate),
+    clipped to the physical [0, 100] range.
+
+    Parameters
+    ----------
+    temp_min / temp_max:
+        Bounds of the clean diurnal temperature swing in °C.
+    humidity_at_temp_min / humidity_at_temp_max:
+        Humidity endpoints of the anti-correlation line.
+    front_scale:
+        Standard deviation of the per-day weather-front temperature
+        offset in °C (fronts shift whole days warmer or colder).
+    seed:
+        Seed for the daily front sequence.
+    """
+
+    temp_min: float = 11.0
+    temp_max: float = 32.0
+    humidity_at_temp_min: float = 96.0
+    humidity_at_temp_max: float = 55.0
+    front_scale: float = 1.5
+    n_days: int = 31
+    seed: int = 2003
+    attribute_names: Tuple[str, ...] = ("temperature", "humidity")
+    _fronts: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.temp_max <= self.temp_min:
+            raise ValueError("temp_max must exceed temp_min")
+        if self.n_days <= 0:
+            raise ValueError("n_days must be positive")
+        rng = np.random.default_rng(self.seed)
+        # One smooth offset per day; an AR(1) makes consecutive days
+        # meteorologically plausible rather than independent.
+        fronts: List[float] = []
+        current = 0.0
+        for _ in range(self.n_days + 1):
+            current = 0.7 * current + rng.normal(0.0, self.front_scale)
+            fronts.append(current)
+        self._fronts = np.asarray(fronts)
+
+    def _front_offset(self, minutes: float) -> float:
+        """Linearly interpolated weather-front offset for ``minutes``."""
+        day = minutes / MINUTES_PER_DAY
+        low = int(math.floor(day))
+        low = min(max(low, 0), len(self._fronts) - 2)
+        frac = min(max(day - low, 0.0), 1.0)
+        return float((1 - frac) * self._fronts[low] + frac * self._fronts[low + 1])
+
+    def temperature_at(self, minutes: float) -> float:
+        """Clean diurnal temperature plus the weather-front offset."""
+        mid = 0.5 * (self.temp_min + self.temp_max)
+        amplitude = 0.5 * (self.temp_max - self.temp_min)
+        # Minimum near 05:00, maximum near 17:00 (coastal phase lag).
+        phase = 2.0 * math.pi * (minutes - 5 * 60.0) / MINUTES_PER_DAY
+        clean = mid - amplitude * math.cos(phase)
+        return clean + self._front_offset(minutes)
+
+    def humidity_for_temperature(self, temperature: float) -> float:
+        """Humidity predicted by the anti-correlation line, clipped."""
+        span = self.temp_max - self.temp_min
+        slope = (self.humidity_at_temp_max - self.humidity_at_temp_min) / span
+        humidity = self.humidity_at_temp_min + slope * (temperature - self.temp_min)
+        return float(np.clip(humidity, 0.0, 100.0))
+
+    def value_at(self, minutes: float) -> np.ndarray:
+        temperature = self.temperature_at(minutes)
+        humidity = self.humidity_for_temperature(temperature)
+        return np.asarray([temperature, humidity], dtype=float)

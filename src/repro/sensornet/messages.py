@@ -1,0 +1,107 @@
+"""Message types exchanged between motes and the collector node.
+
+The paper assumes each sensor periodically sends ``<t, p>`` to a single
+collector, where ``p = <x_1..x_n>`` is the vector of environment
+attributes sampled at time ``t`` (§3.1).  Real deployments also deliver
+*malformed* packets (the GDI data set famously does), which the paper's
+preprocessing must drop; we model those explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SensorMessage:
+    """A well-formed sensor report ``<t, p>`` from one mote.
+
+    Attributes
+    ----------
+    sensor_id:
+        Identifier of the reporting mote.
+    timestamp:
+        Sampling time in minutes since the start of the deployment.
+    attributes:
+        Tuple of sampled environment attributes (e.g. temperature °C,
+        relative humidity %).  Stored as a tuple so messages are hashable
+        and immutable.
+    sequence_number:
+        Per-mote monotonically increasing counter, used to detect losses.
+    """
+
+    sensor_id: int
+    timestamp: float
+    attributes: Tuple[float, ...]
+    sequence_number: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sensor_id < 0:
+            raise ValueError("sensor_id must be non-negative")
+        if not self.attributes:
+            raise ValueError("attributes must be non-empty")
+
+    @property
+    def vector(self) -> np.ndarray:
+        """The attribute vector ``p`` as a float array."""
+        return np.asarray(self.attributes, dtype=float)
+
+    @property
+    def n_attributes(self) -> int:
+        """Dimensionality of the attribute vector."""
+        return len(self.attributes)
+
+    def with_attributes(self, attributes) -> "SensorMessage":
+        """Return a copy carrying a different attribute vector.
+
+        Fault and attack injectors use this to corrupt a report while
+        preserving its routing metadata.
+        """
+        return SensorMessage(
+            sensor_id=self.sensor_id,
+            timestamp=self.timestamp,
+            attributes=tuple(float(x) for x in attributes),
+            sequence_number=self.sequence_number,
+        )
+
+
+@dataclass(frozen=True)
+class MalformedMessage:
+    """A packet that arrived but cannot be parsed into a valid report.
+
+    The collector counts and discards these; they model the corrupted
+    packets present in the GDI traces ("missing and malformed sensor
+    packets", §4).
+    """
+
+    sensor_id: int
+    timestamp: float
+    reason: str = "corrupted payload"
+
+
+@dataclass
+class DeliveryRecord:
+    """Bookkeeping for one transmission attempt over the radio.
+
+    Attributes
+    ----------
+    message:
+        The delivered message, or ``None`` when the packet was lost.
+    malformed:
+        The malformed stand-in, when the packet arrived corrupted.
+    lost:
+        True when the packet never reached the collector.
+    """
+
+    message: Optional[SensorMessage] = None
+    malformed: Optional[MalformedMessage] = None
+    lost: bool = False
+    link_quality: float = field(default=1.0)
+
+    @property
+    def delivered_ok(self) -> bool:
+        """True when a parseable message reached the collector."""
+        return self.message is not None

@@ -1,0 +1,132 @@
+"""Mote (sensor node) model.
+
+A correct mote samples the environment as ``p_j = Θ(t) + N_j`` where
+``N_j`` is zero-mean measurement noise (§3.1).  The mote also models the
+mundane realities the GDI deployment reported: battery decay that
+eventually silences the node, and a per-mote chance of skipping a sample
+(duty-cycling / local failures) independent of radio loss.
+
+Faults and attacks are *not* implemented here — they are transformations
+applied to the emitted messages by :mod:`repro.faults`, mirroring the
+paper's view that corruption happens to the data stream of a compromised
+or degraded node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .environment import EnvironmentModel
+from .messages import SensorMessage
+
+
+@dataclass
+class BatteryModel:
+    """Linear battery drain with a shutdown threshold.
+
+    Attributes
+    ----------
+    initial_charge:
+        Starting charge in arbitrary units (1.0 = full).
+    drain_per_sample:
+        Charge consumed by one sample-and-transmit cycle.
+    shutdown_threshold:
+        Below this charge the mote stops reporting entirely.
+    """
+
+    initial_charge: float = 1.0
+    drain_per_sample: float = 0.0
+    shutdown_threshold: float = 0.05
+    _charge: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.initial_charge <= 0:
+            raise ValueError("initial_charge must be positive")
+        if self.drain_per_sample < 0:
+            raise ValueError("drain_per_sample must be non-negative")
+        self._charge = self.initial_charge
+
+    @property
+    def charge(self) -> float:
+        """Remaining charge."""
+        return self._charge
+
+    @property
+    def alive(self) -> bool:
+        """True while the mote can still sample and transmit."""
+        return self._charge > self.shutdown_threshold
+
+    def consume(self) -> None:
+        """Account for one sample-and-transmit cycle."""
+        self._charge = max(0.0, self._charge - self.drain_per_sample)
+
+
+@dataclass
+class Mote:
+    """One sensor node.
+
+    Parameters
+    ----------
+    sensor_id:
+        Network-unique identifier.
+    environment:
+        The shared ground-truth environment model.
+    noise_std:
+        Per-attribute standard deviation of the zero-mean measurement
+        noise ``N_j``.  A scalar is broadcast across attributes.
+    skip_probability:
+        Chance that a scheduled sample is silently skipped (models local
+        duty-cycling failures, distinct from radio loss).
+    battery:
+        Optional battery model; ``None`` means ideal power.
+    seed:
+        Per-mote RNG seed (mote streams must be independent).
+    """
+
+    sensor_id: int
+    environment: EnvironmentModel
+    noise_std: float = 0.35
+    skip_probability: float = 0.0
+    battery: Optional[BatteryModel] = None
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _sequence: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if not 0.0 <= self.skip_probability < 1.0:
+            raise ValueError("skip_probability must be in [0, 1)")
+        self._rng = np.random.default_rng((self.seed, self.sensor_id))
+
+    @property
+    def alive(self) -> bool:
+        """True while the mote is powered."""
+        return self.battery is None or self.battery.alive
+
+    def sample(self, minutes: float) -> Optional[SensorMessage]:
+        """Take one reading at time ``minutes``; None if skipped or dead.
+
+        The reading is the true environment value plus i.i.d. Gaussian
+        noise per attribute, matching the paper's ``p_j = Θ(t) + N_j``.
+        """
+        if not self.alive:
+            return None
+        if self.skip_probability > 0.0 and self._rng.random() < self.skip_probability:
+            return None
+        truth = self.environment.value_at(minutes)
+        noise = self._rng.normal(0.0, self.noise_std, size=truth.shape)
+        reading = truth + noise
+        if self.battery is not None:
+            self.battery.consume()
+        message = SensorMessage(
+            sensor_id=self.sensor_id,
+            timestamp=minutes,
+            attributes=tuple(float(x) for x in reading),
+            sequence_number=self._sequence,
+        )
+        self._sequence += 1
+        return message

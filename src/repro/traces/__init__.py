@@ -1,0 +1,35 @@
+"""Trace generation, persistence, and windowing.
+
+The synthetic Great Duck Island generator (:mod:`repro.traces.gdi`)
+replaces the paper's proprietary July-2003 traces; see DESIGN.md §2.
+"""
+
+from .gdi import (
+    GDI_DURATION_DAYS,
+    GDI_SAMPLE_PERIOD_MINUTES,
+    GDI_SENSOR_COUNT,
+    GDITraceConfig,
+    build_environment,
+    generate_gdi_trace,
+)
+from .loader import LoadReport, load_trace, save_trace
+from .schema import Trace, TraceRecord, trace_from_messages
+from .windows import non_empty_windows, window_trace, window_trace_by_samples
+
+__all__ = [
+    "GDITraceConfig",
+    "GDI_DURATION_DAYS",
+    "GDI_SAMPLE_PERIOD_MINUTES",
+    "GDI_SENSOR_COUNT",
+    "LoadReport",
+    "Trace",
+    "TraceRecord",
+    "build_environment",
+    "generate_gdi_trace",
+    "load_trace",
+    "non_empty_windows",
+    "save_trace",
+    "trace_from_messages",
+    "window_trace",
+    "window_trace_by_samples",
+]

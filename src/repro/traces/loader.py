@@ -1,0 +1,103 @@
+"""Trace persistence: CSV round-trip with malformed-line tolerance.
+
+The on-disk format is a plain CSV with a header row::
+
+    sensor_id,timestamp,<attr_1>,...,<attr_n>
+
+Real deployment logs contain unparseable lines (the GDI data set's
+"malformed sensor packets"); :func:`load_trace` counts and skips them
+instead of failing, mirroring the preprocessing the paper describes.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+from .schema import Trace, TraceRecord
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of parsing a trace file."""
+
+    trace: Trace
+    n_rows: int
+    n_malformed: int
+
+    @property
+    def malformed_rate(self) -> float:
+        """Fraction of data rows that could not be parsed."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.n_malformed / self.n_rows
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["sensor_id", "timestamp", *trace.attribute_names])
+        for record in trace.records:
+            writer.writerow(
+                [record.sensor_id, f"{record.timestamp:.4f}"]
+                + [f"{x:.6f}" for x in record.attributes]
+            )
+
+
+def load_trace(path: PathLike) -> LoadReport:
+    """Read a trace CSV, skipping malformed rows.
+
+    Raises
+    ------
+    ValueError
+        If the file is empty or its header is not the expected shape.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if len(header) < 3 or header[0] != "sensor_id" or header[1] != "timestamp":
+            raise ValueError(f"{path} has an unexpected header: {header!r}")
+        attribute_names: Tuple[str, ...] = tuple(header[2:])
+
+        records = []
+        n_rows = 0
+        n_malformed = 0
+        for row in reader:
+            n_rows += 1
+            record = _parse_row(row, len(attribute_names))
+            if record is None:
+                n_malformed += 1
+            else:
+                records.append(record)
+
+    trace = Trace(records=records, attribute_names=attribute_names)
+    trace.metadata["malformed_rows"] = float(n_malformed)
+    return LoadReport(trace=trace, n_rows=n_rows, n_malformed=n_malformed)
+
+
+def _parse_row(row, n_attributes: int):
+    """Parse one CSV row; None when the row is malformed."""
+    if len(row) != 2 + n_attributes:
+        return None
+    try:
+        sensor_id = int(row[0])
+        timestamp = float(row[1])
+        attributes = tuple(float(x) for x in row[2:])
+    except (TypeError, ValueError):
+        return None
+    if sensor_id < 0 or timestamp < 0:
+        return None
+    return TraceRecord(
+        sensor_id=sensor_id, timestamp=timestamp, attributes=attributes
+    )

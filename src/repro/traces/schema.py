@@ -1,0 +1,154 @@
+"""Trace record types.
+
+A *trace* is the flat, collector-side record of a deployment: one row per
+successfully parsed sensor report.  The paper's evaluation consumes one
+month of such rows from the Great Duck Island deployment; this module
+defines the in-memory and on-disk shape of those rows for the synthetic
+equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..sensornet.messages import SensorMessage
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One parsed sensor report as stored in a trace.
+
+    Attributes
+    ----------
+    sensor_id:
+        Reporting mote.
+    timestamp:
+        Minutes since deployment start.
+    attributes:
+        Sampled attribute vector (temperature °C, humidity %RH for the
+        GDI configuration).
+    """
+
+    sensor_id: int
+    timestamp: float
+    attributes: Tuple[float, ...]
+
+    @classmethod
+    def from_message(cls, message: SensorMessage) -> "TraceRecord":
+        """Build a record from a delivered :class:`SensorMessage`."""
+        return cls(
+            sensor_id=message.sensor_id,
+            timestamp=message.timestamp,
+            attributes=message.attributes,
+        )
+
+    def to_message(self, sequence_number: int = 0) -> SensorMessage:
+        """Convert back into the message form the pipeline consumes."""
+        return SensorMessage(
+            sensor_id=self.sensor_id,
+            timestamp=self.timestamp,
+            attributes=self.attributes,
+            sequence_number=sequence_number,
+        )
+
+    @property
+    def vector(self) -> np.ndarray:
+        """Attribute vector as a float array."""
+        return np.asarray(self.attributes, dtype=float)
+
+
+@dataclass
+class Trace:
+    """A time-ordered collection of trace records plus metadata.
+
+    Attributes
+    ----------
+    records:
+        Records sorted by (timestamp, sensor_id).
+    attribute_names:
+        Names of the attribute columns.
+    metadata:
+        Free-form provenance (generator parameters, seed, loss counts).
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+    attribute_names: Tuple[str, ...] = ("temperature", "humidity")
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.records.sort(key=lambda r: (r.timestamp, r.sensor_id))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def sensor_ids(self) -> List[int]:
+        """Sorted distinct sensor ids present in the trace."""
+        return sorted({r.sensor_id for r in self.records})
+
+    @property
+    def duration_minutes(self) -> float:
+        """Span from 0 to the last record's timestamp."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].timestamp
+
+    def for_sensor(self, sensor_id: int) -> List[TraceRecord]:
+        """All records of one sensor, in time order."""
+        return [r for r in self.records if r.sensor_id == sensor_id]
+
+    def between(self, start_minutes: float, end_minutes: float) -> "Trace":
+        """Sub-trace covering ``[start_minutes, end_minutes)``."""
+        subset = [
+            r for r in self.records if start_minutes <= r.timestamp < end_minutes
+        ]
+        return Trace(
+            records=subset,
+            attribute_names=self.attribute_names,
+            metadata=dict(self.metadata),
+        )
+
+    def day(self, day_index: int) -> "Trace":
+        """Sub-trace for one deployment day (0-based)."""
+        if day_index < 0:
+            raise ValueError("day_index must be non-negative")
+        start = day_index * 24 * 60.0
+        return self.between(start, start + 24 * 60.0)
+
+    def to_messages(self) -> List[SensorMessage]:
+        """Convert the whole trace into pipeline-ready messages."""
+        counters: Dict[int, int] = {}
+        messages: List[SensorMessage] = []
+        for record in self.records:
+            seq = counters.get(record.sensor_id, 0)
+            counters[record.sensor_id] = seq + 1
+            messages.append(record.to_message(sequence_number=seq))
+        return messages
+
+    def attribute_series(
+        self, sensor_id: int, attribute_index: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """(timestamps, values) of one attribute of one sensor."""
+        if not 0 <= attribute_index < len(self.attribute_names):
+            raise ValueError("attribute_index out of range")
+        rows = self.for_sensor(sensor_id)
+        times = np.asarray([r.timestamp for r in rows])
+        values = np.asarray([r.attributes[attribute_index] for r in rows])
+        return times, values
+
+
+def trace_from_messages(
+    messages: Sequence[SensorMessage],
+    attribute_names: Tuple[str, ...] = ("temperature", "humidity"),
+) -> Trace:
+    """Collect delivered messages into a :class:`Trace`."""
+    return Trace(
+        records=[TraceRecord.from_message(m) for m in messages],
+        attribute_names=attribute_names,
+    )

@@ -1,0 +1,104 @@
+"""Shared fixtures for the test suite.
+
+Heavy end-to-end scenario runs are session-cached through
+:func:`repro.experiments.cached_scenario` (an ``lru_cache``), so many
+integration tests can assert against the same simulated deployment
+without re-running it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PipelineConfig
+from repro.experiments import cached_scenario
+from repro.sensornet import ConstantEnvironment, PiecewiseRegimeEnvironment
+
+#: Short deployment length used by the integration scenarios: long
+#: enough for onset + tracking + classification, short enough for CI.
+TEST_DAYS = 14
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for per-test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def config() -> PipelineConfig:
+    """The Table 1 default configuration."""
+    return PipelineConfig()
+
+
+@pytest.fixture
+def constant_environment() -> ConstantEnvironment:
+    """A fixed (20, 75) environment."""
+    return ConstantEnvironment()
+
+
+@pytest.fixture
+def regime_environment() -> PiecewiseRegimeEnvironment:
+    """A four-regime stepping environment with known ground truth."""
+    return PiecewiseRegimeEnvironment()
+
+
+@pytest.fixture(scope="session")
+def clean_run():
+    """A clean 14-day GDI scenario (shared across the session)."""
+    return cached_scenario("clean", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def faulty_run():
+    """The §4.1 faulty-sensors-6-and-7 scenario."""
+    return cached_scenario("faulty", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def stuck_run():
+    """A single stuck-at sensor scenario."""
+    return cached_scenario("stuck_at", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def calibration_run():
+    """A single calibration-fault scenario."""
+    return cached_scenario("calibration", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def additive_run():
+    """A single additive-fault scenario."""
+    return cached_scenario("additive", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def noise_run():
+    """A single random-noise-fault scenario."""
+    return cached_scenario("random_noise", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def deletion_run():
+    """The §4.2 dynamic-deletion attack scenario."""
+    return cached_scenario("deletion", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def creation_run():
+    """The §4.2 dynamic-creation attack scenario."""
+    return cached_scenario("creation", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def change_run():
+    """The dynamic-change attack scenario."""
+    return cached_scenario("change", n_days=TEST_DAYS)
+
+
+@pytest.fixture(scope="session")
+def mixed_run():
+    """The mixed (creation + deletion) attack scenario."""
+    return cached_scenario("mixed", n_days=TEST_DAYS)

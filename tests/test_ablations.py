@@ -1,0 +1,113 @@
+"""Tests for the ablation-study harness (repro.experiments.ablations).
+
+Short-horizon versions of the sweeps the benchmarks run at full length:
+these verify the harness mechanics (row shapes, column extraction,
+rendering) and the most robust headline directions.
+"""
+
+import pytest
+
+from repro.analysis import ConfusionMatrix
+from repro.experiments import (
+    A5_EQUIVALENCES,
+    baseline_comparison,
+    classification_matrix,
+    dynamic_change_study,
+    estimator_comparison,
+    filter_comparison,
+    learning_factor_sweep,
+    window_size_sweep,
+)
+
+
+class TestSweepMechanics:
+    @pytest.fixture(scope="class")
+    def window_sweep(self):
+        return window_size_sweep(sizes=(6, 12), n_days=5)
+
+    def test_one_row_per_parameter_value(self, window_sweep):
+        assert len(window_sweep.rows) == 2
+
+    def test_column_extraction(self, window_sweep):
+        values = window_sweep.column("w (samples)")
+        assert values == [6, 12]
+
+    def test_column_extraction_rejects_unknown(self, window_sweep):
+        with pytest.raises(ValueError):
+            window_sweep.column("no-such-column")
+
+    def test_render_contains_title_and_headers(self, window_sweep):
+        text = window_sweep.render()
+        assert "Ablation A1" in text
+        assert "model states" in text
+
+
+class TestLearningFactorSweep:
+    def test_clean_run_stable_across_alphas(self):
+        result = learning_factor_sweep(alphas=(0.05, 0.25), n_days=5)
+        for row in result.rows:
+            assert row[1] <= 10  # model states stay bounded
+            assert row[3] <= 2  # nearly no spurious tracks
+
+
+class TestFilterComparison:
+    def test_all_filters_detect(self):
+        result = filter_comparison(n_days=10)
+        assert [row[1] for row in result.rows] == ["yes", "yes", "yes"]
+
+    def test_filter_names_cover_config_kinds(self):
+        result = filter_comparison(n_days=10)
+        assert [row[0] for row in result.rows] == ["k_of_n", "sprt", "cusum"]
+
+
+class TestClassificationMatrix:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return classification_matrix(n_days=10)
+
+    def test_returns_matrix_and_sweep(self, outcome):
+        matrix, sweep = outcome
+        assert isinstance(matrix, ConfusionMatrix)
+        assert len(sweep.rows) == 8  # eight canonical scenarios
+
+    def test_accuracy_with_equivalences(self, outcome):
+        matrix, _ = outcome
+        assert matrix.accuracy(A5_EQUIVALENCES) >= 0.7
+
+    def test_fault_scenarios_never_become_attacks(self, outcome):
+        matrix, _ = outcome
+        attack_labels = {"creation", "deletion", "change", "mixed"}
+        for (truth, diagnosed), count in matrix.counts.items():
+            if truth in ("stuck_at", "calibration", "additive", "random_noise"):
+                assert diagnosed not in attack_labels, (truth, diagnosed)
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return baseline_comparison(n_days=10)
+
+    def test_range_check_blind_to_attacks(self, result):
+        rows = {row[0]: row for row in result.rows}
+        assert rows["deletion"][1] == "blind"
+        assert rows["creation"][1] == "blind"
+
+    def test_our_method_types_the_stuck_fault(self, result):
+        rows = {row[0]: row for row in result.rows}
+        assert "stuck_at" in rows["stuck-at"][5]
+
+
+class TestDynamicChangeStudy:
+    def test_reports_displaced_pairs(self):
+        # The wholesale-shift signature needs about two weeks to imprint
+        # on the forgetting-factor estimator (same horizon as the bench).
+        result = dynamic_change_study(n_days=14)
+        assert "change" in result.title
+        assert len(result.rows) >= 1
+
+
+class TestEstimatorComparison:
+    def test_paper_estimator_dominates(self):
+        result = estimator_comparison(n_days=5)
+        masses = {row[0]: float(row[2]) for row in result.rows}
+        assert masses["paper (redundancy-aware)"] > masses["general online EM [10]"]

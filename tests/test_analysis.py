@@ -1,0 +1,186 @@
+"""Unit tests for repro.analysis (k-means, metrics, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConfusionMatrix,
+    alarm_rates,
+    discretize,
+    false_alarm_rate,
+    initial_states_from_trace,
+    kmeans,
+    render_alarm_series,
+    render_emission_matrix,
+    render_kv,
+    render_markov_model,
+    render_table,
+    state_label,
+    summarize_detection,
+)
+from repro.analysis.metrics import DetectionOutcome
+from repro.core.classification import AnomalyType, Diagnosis
+from repro.core.markov import estimate_markov_model
+from repro.core.online_hmm import EmissionMatrix
+
+
+class TestKMeans:
+    def blobs(self, rng):
+        a = rng.normal([0.0, 0.0], 0.3, size=(50, 2))
+        b = rng.normal([10.0, 10.0], 0.3, size=(50, 2))
+        c = rng.normal([0.0, 10.0], 0.3, size=(50, 2))
+        return np.vstack([a, b, c])
+
+    def test_recovers_well_separated_blobs(self, rng):
+        result = kmeans(self.blobs(rng), k=3, seed=0)
+        centers = sorted(map(tuple, np.round(result.centers)))
+        assert centers == [(0.0, 0.0), (0.0, 10.0), (10.0, 10.0)]
+
+    def test_labels_consistent_with_centers(self, rng):
+        points = self.blobs(rng)
+        result = kmeans(points, k=3, seed=0)
+        for point, label in zip(points, result.labels):
+            distances = np.linalg.norm(result.centers - point, axis=1)
+            assert label == np.argmin(distances)
+
+    def test_deterministic_given_seed(self, rng):
+        points = self.blobs(rng)
+        a = kmeans(points, 3, seed=4)
+        b = kmeans(points, 3, seed=4)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((2, 2)), k=3)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), k=0)
+
+    def test_initial_states_sorted_by_first_attribute(self, rng):
+        points = self.blobs(rng)
+        states = initial_states_from_trace(points, 3, seed=1)
+        assert list(states[:, 0]) == sorted(states[:, 0])
+
+    def test_discretize_maps_to_nearest(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        labels = discretize(np.array([[1.0, 1.0], [9.0, 9.0]]), centers)
+        assert list(labels) == [0, 1]
+
+
+class TestDetectionMetrics:
+    def outcome(self, sensor_id, corrupted, detected, det=None, onset=None):
+        return DetectionOutcome(
+            sensor_id=sensor_id,
+            corrupted=corrupted,
+            detected=detected,
+            detection_window=det,
+            onset_window=onset,
+        )
+
+    def test_summary_counts(self):
+        outcomes = [
+            self.outcome(0, True, True, det=10, onset=5),
+            self.outcome(1, True, False),
+            self.outcome(2, False, True, det=3),
+            self.outcome(3, False, False),
+        ]
+        summary = summarize_detection(outcomes)
+        assert summary.true_positives == 1
+        assert summary.false_negatives == 1
+        assert summary.false_positives == 1
+        assert summary.true_negatives == 1
+        assert summary.precision == pytest.approx(0.5)
+        assert summary.recall == pytest.approx(0.5)
+        assert summary.mean_latency_windows == pytest.approx(5.0)
+
+    def test_perfect_scores_on_empty(self):
+        summary = summarize_detection([])
+        assert summary.precision == 1.0
+        assert summary.recall == 1.0
+        assert summary.mean_latency_windows is None
+
+    def test_latency_never_negative(self):
+        outcome = self.outcome(0, True, True, det=3, onset=8)
+        assert outcome.latency_windows == 0
+
+
+class TestConfusionMatrix:
+    def test_accuracy_with_equivalences(self):
+        matrix = ConfusionMatrix()
+        matrix.record("stuck_at", AnomalyType.STUCK_AT)
+        matrix.record("drift", AnomalyType.STUCK_AT)
+        matrix.record("calibration", AnomalyType.UNKNOWN_ERROR)
+        assert matrix.accuracy() == pytest.approx(1.0 / 3.0)
+        assert matrix.accuracy({"drift": "stuck_at"}) == pytest.approx(2.0 / 3.0)
+
+    def test_record_diagnoses_handles_missed_detection(self):
+        matrix = ConfusionMatrix()
+        matrix.record_diagnoses(
+            {1: "stuck_at", 2: "additive"},
+            {1: Diagnosis(anomaly_type=AnomalyType.STUCK_AT, sensor_id=1)},
+        )
+        assert matrix.counts[("stuck_at", "stuck_at")] == 1
+        assert matrix.counts[("additive", "none")] == 1
+
+    def test_as_array_shape(self):
+        matrix = ConfusionMatrix()
+        matrix.record("a", AnomalyType.STUCK_AT)
+        matrix.record("b", AnomalyType.ADDITIVE)
+        array, truths, labels = matrix.as_array()
+        assert array.shape == (2, 2)
+        assert array.sum() == 2
+
+    def test_empty_accuracy_is_zero(self):
+        assert ConfusionMatrix().accuracy() == 0.0
+
+
+class TestPipelineMetrics:
+    def test_alarm_and_false_alarm_rates(self, stuck_run):
+        pipeline = stuck_run.pipeline
+        rates = alarm_rates(pipeline)
+        assert set(rates) == set(range(10))
+        healthy = false_alarm_rate(pipeline, corrupted_sensors=[6])
+        assert healthy < 0.05
+        assert rates[6] > 10 * healthy
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_state_label(self):
+        vectors = {0: np.array([12.4, 94.2])}
+        assert state_label(0, vectors) == "(12,94)"
+        assert state_label(-1, vectors) == "⊥"
+        assert state_label(5, vectors) == "s5"
+
+    def test_render_emission_matrix_contains_labels(self):
+        emission = EmissionMatrix(
+            matrix=np.array([[1.0, 0.0]]), state_ids=(0,), symbol_ids=(0, 1)
+        )
+        vectors = {0: np.array([12.0, 94.0]), 1: np.array([31.0, 56.0])}
+        text = render_emission_matrix(emission, vectors, title="T")
+        assert "(12,94)" in text and "(31,56)" in text and "T" in text
+
+    def test_render_markov_model(self):
+        model = estimate_markov_model([0, 1, 0, 1])
+        text = render_markov_model(model, title="M_C")
+        assert "M_C" in text and "visits" in text
+
+    def test_render_alarm_series_rate(self):
+        text = render_alarm_series([True, False, False, False], width=4)
+        assert "25.0%" in text
+
+    def test_render_alarm_series_empty(self):
+        assert "(empty)" in render_alarm_series([])
+
+    def test_render_kv(self):
+        text = render_kv({"alpha": 0.1, "beta": 0.9}, title="params")
+        assert "params" in text and "alpha" in text

@@ -1,0 +1,165 @@
+"""Unit tests for repro.baselines (threshold, majority, chain, HMM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MajorityVoteDetector,
+    MarkovChainDetector,
+    OfflineHMMDetector,
+    RangeThresholdDetector,
+)
+from repro.hmm import DiscreteHMM, sample_sequence
+from repro.sensornet import ObservationWindow, SensorMessage
+
+
+def msg(sensor_id, attrs, t=0.0):
+    return SensorMessage(sensor_id=sensor_id, timestamp=t, attributes=attrs)
+
+
+class TestRangeThresholdDetector:
+    def test_in_range_readings_pass(self):
+        detector = RangeThresholdDetector()
+        assert detector.check(msg(0, (20.0, 75.0))) == []
+        assert detector.alarm_rate() == 0.0
+
+    def test_out_of_range_flagged(self):
+        detector = RangeThresholdDetector()
+        alarms = detector.check(msg(3, (70.0, 75.0)))
+        assert len(alarms) == 1
+        assert alarms[0].attribute_index == 0
+        assert detector.flagged_sensors() == [3]
+
+    def test_both_attributes_can_alarm(self):
+        detector = RangeThresholdDetector()
+        alarms = detector.check(msg(0, (70.0, 120.0)))
+        assert len(alarms) == 2
+
+    def test_margin_tightens_ranges(self):
+        detector = RangeThresholdDetector(margin=20.0)
+        assert detector.check(msg(0, (55.0, 75.0)))
+
+    def test_in_range_attack_is_invisible(self):
+        # The paper's §4.2 point: coordinated attacks stay in-range.
+        detector = RangeThresholdDetector()
+        detector.check_all([msg(0, (31.0, 12.0)), msg(1, (2.0, 100.0))])
+        assert detector.alarms == []
+
+    def test_rejects_dimensionality_mismatch(self):
+        with pytest.raises(ValueError):
+            RangeThresholdDetector().check(msg(0, (1.0,)))
+
+    def test_rejects_collapsing_margin(self):
+        with pytest.raises(ValueError):
+            RangeThresholdDetector(margin=60.0)
+
+
+def build_window(index, readings):
+    messages = tuple(
+        msg(sid, attrs, t=(index - 1) * 60.0 + 1.0)
+        for sid, attrs in sorted(readings.items())
+    )
+    return ObservationWindow(
+        index=index,
+        start_minutes=(index - 1) * 60.0,
+        end_minutes=index * 60.0,
+        messages=messages,
+    )
+
+
+class TestMajorityVoteDetector:
+    def test_flags_persistent_outlier(self):
+        detector = MajorityVoteDetector()
+        for i in range(1, 15):
+            readings = {s: (20.0, 75.0) for s in range(5)}
+            if i >= 3:
+                readings[4] = (55.0, 5.0)
+            detector.process_window(build_window(i, readings))
+        assert detector.flagged_sensors() == [4]
+
+    def test_healthy_network_unflagged(self):
+        detector = MajorityVoteDetector()
+        windows = [
+            build_window(i, {s: (20.0, 75.0) for s in range(5)})
+            for i in range(1, 15)
+        ]
+        assert detector.process_windows(windows) == []
+
+    def test_empty_windows_skipped(self):
+        detector = MajorityVoteDetector()
+        detector.process_window(build_window(1, {}))
+        assert detector.n_windows == 0
+
+
+class TestMarkovChainDetector:
+    @pytest.fixture
+    def trained(self):
+        detector = MarkovChainDetector(n_states=3)
+        rng = np.random.default_rng(0)
+        clean = list(rng.choice([0, 1], size=400, p=[0.7, 0.3]))
+        detector.train(clean)
+        detector.calibrate_threshold(clean)
+        return detector, clean
+
+    def test_training_required_before_scoring(self):
+        with pytest.raises(RuntimeError):
+            MarkovChainDetector(n_states=2).log_likelihood_per_step([0, 1])
+
+    def test_clean_data_scores_low_alarm_rate(self, trained):
+        detector, clean = trained
+        assert detector.detection_rate(clean) < 0.05
+
+    def test_unseen_state_detected(self, trained):
+        detector, _ = trained
+        anomalous = [0, 1, 0, 2, 2, 2, 2, 2, 2, 2]
+        assert detector.detection_rate(anomalous) > 0.3
+
+    def test_validates_alphabet(self):
+        detector = MarkovChainDetector(n_states=2)
+        with pytest.raises(ValueError):
+            detector.train([0, 1, 5])
+
+    def test_window_scores_have_positions(self, trained):
+        detector, clean = trained
+        scores = detector.score_windows(clean[:20], window=6)
+        assert [s.start_index for s in scores] == list(range(15))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MarkovChainDetector(n_states=0)
+        with pytest.raises(ValueError):
+            MarkovChainDetector(n_states=2, smoothing=0.0)
+
+
+class TestOfflineHMMDetector:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        truth = DiscreteHMM(
+            transition=[[0.9, 0.1], [0.1, 0.9]],
+            emission=[[0.9, 0.1, 0.0], [0.1, 0.9, 0.0]],
+            initial=[0.5, 0.5],
+        )
+        rng = np.random.default_rng(1)
+        clean = sample_sequence(truth, 400, rng).observations
+        detector = OfflineHMMDetector(n_hidden=2, n_symbols=3, seed=1)
+        detector.train([clean])
+        detector.calibrate_threshold(clean)
+        return detector, clean
+
+    def test_requires_training(self):
+        with pytest.raises(RuntimeError):
+            OfflineHMMDetector().score([0, 1])
+
+    def test_clean_data_low_alarm_rate(self, trained):
+        detector, clean = trained
+        assert detector.detection_rate(clean) < 0.05
+
+    def test_never_seen_symbol_flagged(self, trained):
+        detector, _ = trained
+        anomalous = [2] * 12
+        assert detector.detection_rate(anomalous) > 0.5
+
+    def test_training_result_recorded(self, trained):
+        detector, _ = trained
+        assert detector.training_result is not None
+        assert detector.is_trained

@@ -1,0 +1,78 @@
+"""Tests for the repro CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["reproduce", "fig7"])
+        assert args.days == 21
+        assert args.seed == 2003
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table6" in out and "stuck_at" in out
+
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "0.90" in out
+
+    def test_reproduce_fig7_short_run(self, capsys):
+        assert main(["reproduce", "fig7", "--days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "visits" in out
+
+    def test_scenario_stuck_at(self, capsys):
+        assert main(["scenario", "stuck_at", "--days", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "ground truth: {6: 'stuck_at'}" in out
+        assert "stuck_at" in out
+        assert "M_C states" in out
+
+    def test_scenario_clean_has_no_diagnoses(self, capsys):
+        assert main(["scenario", "clean", "--days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "per-sensor diagnoses: none" in out
+        assert "system verdict: none" in out
+
+
+class TestCLIReporting:
+    def test_scenario_save_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(
+            ["scenario", "stuck_at", "--days", "10", "--save", str(path)]
+        ) == 0
+        capsys.readouterr()
+        import json
+
+        document = json.loads(path.read_text())
+        assert document["diagnoses"]["6"]["anomaly_type"] == "stuck_at"
+
+    def test_scenario_incident_report(self, capsys):
+        assert main(
+            ["scenario", "stuck_at", "--days", "10", "--incident-report"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Incident report — stuck_at" in out
+        assert "recommended action" in out
+        assert "replacement" in out

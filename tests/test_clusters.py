@@ -1,0 +1,165 @@
+"""Tests for the §6 cluster-monitoring extension (repro.clusters)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import AnomalyCategory, AnomalyType
+from repro.clusters import (
+    CLUSTER_ADMISSIBLE_RANGES,
+    EcommerceWorkloadEnvironment,
+    cluster_pipeline_config,
+    cryptominer_campaign,
+    dashboard_deletion_campaign,
+    memory_leak_campaign,
+    run_cluster_scenario,
+)
+
+
+class TestEcommerceWorkloadEnvironment:
+    def test_attributes_and_dimensionality(self):
+        env = EcommerceWorkloadEnvironment(n_days=3)
+        assert env.attribute_names == ("load", "latency", "cpu")
+        assert env.value_at(0.0).shape == (3,)
+
+    def test_daily_cycle_night_vs_evening(self):
+        env = EcommerceWorkloadEnvironment(n_days=3, surge_probability=0.0)
+        night = env.load_at(3 * 60.0)
+        evening = env.load_at(20 * 60.0)
+        assert evening > 2 * night
+
+    def test_values_within_admissible_ranges(self):
+        env = EcommerceWorkloadEnvironment(n_days=5)
+        for minutes in range(0, 5 * 24 * 60, 30):
+            value = env.value_at(float(minutes))
+            for attr, (low, high) in zip(value, CLUSTER_ADMISSIBLE_RANGES):
+                assert low <= attr <= high
+
+    def test_latency_and_cpu_monotone_in_load(self):
+        env = EcommerceWorkloadEnvironment()
+        latencies = [env.latency_for_load(x) for x in (2.0, 10.0, 18.0)]
+        cpus = [env.cpu_for_load(x) for x in (2.0, 10.0, 18.0)]
+        assert latencies == sorted(latencies)
+        assert cpus == sorted(cpus)
+
+    def test_surge_days_add_midday_load(self):
+        env = EcommerceWorkloadEnvironment(
+            n_days=5, surge_probability=1.0, surge_boost=5.0
+        )
+        quiet = EcommerceWorkloadEnvironment(
+            n_days=5, surge_probability=0.0, seed=env.seed
+        )
+        assert env.load_at(13 * 60.0) > quiet.load_at(13 * 60.0) + 3.0
+
+    def test_deterministic_given_seed(self):
+        a = EcommerceWorkloadEnvironment(seed=5)
+        b = EcommerceWorkloadEnvironment(seed=5)
+        assert np.allclose(a.value_at(12345.0), b.value_at(12345.0))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EcommerceWorkloadEnvironment(base_load=10.0, peak_load=5.0)
+        with pytest.raises(ValueError):
+            EcommerceWorkloadEnvironment(n_days=0)
+
+
+@pytest.fixture(scope="module")
+def clean_cluster():
+    return run_cluster_scenario(n_days=5)
+
+
+@pytest.fixture(scope="module")
+def leak_cluster():
+    return run_cluster_scenario(n_days=6, campaign=memory_leak_campaign())
+
+
+@pytest.fixture(scope="module")
+def miner_cluster():
+    return run_cluster_scenario(n_days=6, campaign=cryptominer_campaign())
+
+
+@pytest.fixture(scope="module")
+def deletion_cluster():
+    return run_cluster_scenario(n_days=6, campaign=dashboard_deletion_campaign())
+
+
+class TestCleanCluster:
+    def test_no_tracks(self, clean_cluster):
+        assert clean_cluster.pipeline.tracks.n_tracks == 0
+
+    def test_system_verdict_none(self, clean_cluster):
+        verdict = clean_cluster.pipeline.system_diagnosis().anomaly_type
+        assert verdict is AnomalyType.NONE
+
+    def test_workload_states_span_the_day(self, clean_cluster):
+        model = clean_cluster.pipeline.correct_model()
+        loads = sorted(
+            float(model.state_vectors[s][0]) for s in model.state_ids
+        )
+        assert loads[0] < 8.0  # a night state
+        assert loads[-1] > 14.0  # a peak state
+
+
+class TestMemoryLeak:
+    def test_leaking_replica_tracked(self, leak_cluster):
+        tracked = {t.sensor_id for t in leak_cluster.pipeline.tracks.tracks}
+        assert tracked == {4}
+
+    def test_wedged_replica_classified_stuck(self, leak_cluster):
+        diagnosis = leak_cluster.pipeline.diagnose_sensor(4)
+        assert diagnosis is not None
+        assert diagnosis.anomaly_type is AnomalyType.STUCK_AT
+        assert diagnosis.category is AnomalyCategory.ERROR
+
+    def test_system_level_clean(self, leak_cluster):
+        verdict = leak_cluster.pipeline.system_diagnosis().anomaly_type
+        assert verdict is AnomalyType.NONE
+
+
+class TestCryptominer:
+    def test_compromised_replica_detected(self, miner_cluster):
+        tracked = {t.sensor_id for t in miner_cluster.pipeline.tracks.tracks}
+        assert 7 in tracked
+
+    def test_diagnosis_is_error_like(self, miner_cluster):
+        # The paper's §3.3 caveat: an adversary mimicking an error gets
+        # an error-side diagnosis; quantised ratios may land on unknown.
+        diagnosis = miner_cluster.pipeline.diagnose_sensor(7)
+        assert diagnosis is not None
+        assert diagnosis.anomaly_type in (
+            AnomalyType.CALIBRATION,
+            AnomalyType.UNKNOWN_ERROR,
+        )
+
+
+class TestDashboardDeletion:
+    def test_attack_classified(self, deletion_cluster):
+        verdict = deletion_cluster.pipeline.system_diagnosis().anomaly_type
+        assert verdict is AnomalyType.DYNAMIC_DELETION
+
+    def test_all_colluders_tracked(self, deletion_cluster):
+        truth = set(deletion_cluster.campaign.malicious_sensor_ids())
+        tracked = {
+            t.sensor_id for t in deletion_cluster.pipeline.tracks.tracks
+        }
+        assert truth <= tracked
+
+    def test_colluders_diagnosed_as_attack(self, deletion_cluster):
+        for sensor_id in deletion_cluster.campaign.malicious_sensor_ids():
+            diagnosis = deletion_cluster.pipeline.diagnose_sensor(sensor_id)
+            assert diagnosis is not None
+            assert diagnosis.category is AnomalyCategory.ATTACK
+
+
+class TestConfig:
+    def test_cluster_config_keeps_table1_learning_factors(self):
+        config = cluster_pipeline_config()
+        assert config.alpha == 0.10
+        assert config.beta == 0.90
+        assert config.gamma == 0.90
+
+    def test_window_is_fifteen_minutes(self):
+        assert cluster_pipeline_config().window_minutes == 15.0
+
+    def test_rejects_nonpositive_replicas(self):
+        with pytest.raises(ValueError):
+            run_cluster_scenario(n_replicas=0)

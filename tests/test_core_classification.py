@@ -1,0 +1,227 @@
+"""Unit tests for repro.core.classification (the Fig. 5 procedure).
+
+These tests drive the classifier with hand-built OnlineHMM streams whose
+structural signatures are known, independent of the full pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    AnomalyCategory,
+    AnomalyType,
+    ClassifierConfig,
+    classify_system,
+    classify_track,
+    compare_state_attributes,
+)
+from repro.core.online_hmm import OnlineHMM
+from repro.core.states import BOTTOM_STATE_ID
+from repro.core.tracks import TrackManager
+
+#: Four states along a synthetic diurnal ladder plus special states.
+VECTORS = {
+    0: np.array([12.0, 94.0]),
+    1: np.array([17.0, 84.0]),
+    2: np.array([24.0, 70.0]),
+    3: np.array([31.0, 56.0]),
+    4: np.array([15.0, 1.0]),   # a stuck value
+    5: np.array([14.0, 55.0]),  # an off-manifold created state
+    6: np.array([13.7, 72.4]),  # calibration image of state 1
+    7: np.array([19.4, 60.3]),  # calibration image of state 2
+    8: np.array([23.0, 96.0]),  # additive image of state 1 (+6, +12)
+    9: np.array([30.0, 82.0]),  # additive image of state 2 (+6, +12)
+}
+
+
+def m_co_with_stream(pairs, n_repeats=20) -> OnlineHMM:
+    """Build an M_CO from a repeated (correct, observable) stream."""
+    hmm = OnlineHMM()
+    for _ in range(n_repeats):
+        for correct, observed in pairs:
+            hmm.observe(correct, observed)
+    return hmm
+
+
+def clean_m_co() -> OnlineHMM:
+    return m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 3)])
+
+
+def track_with_stream(pairs, n_repeats=20):
+    manager = TrackManager()
+    track = manager.open_track(sensor_id=6, window_index=1)
+    for _ in range(n_repeats):
+        for correct, symbol in pairs:
+            track.record(correct, symbol)
+    return track
+
+
+class TestSystemClassification:
+    def test_clean_stream_is_none(self):
+        diagnosis = classify_system(clean_m_co(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.NONE
+
+    def test_deletion_signature(self):
+        # State 3's own symbol vanishes; it is observed as state 2.
+        m_co = m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 2)])
+        diagnosis = classify_system(m_co, VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_DELETION
+        assert (3, 2) in diagnosis.evidence["deletion_pairs"]
+
+    def test_creation_signature(self):
+        # State 0 alternates between its own symbol and spurious state 5.
+        m_co = m_co_with_stream([(0, 0), (0, 5), (1, 1), (2, 2), (3, 3)])
+        diagnosis = classify_system(m_co, VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_CREATION
+        assert (0, 5) in diagnosis.evidence["creation_pairs"]
+
+    def test_mixed_signature(self):
+        m_co = m_co_with_stream([(0, 0), (0, 5), (1, 1), (2, 2), (3, 2)])
+        diagnosis = classify_system(m_co, VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.MIXED
+
+    def test_change_signature(self):
+        # Every state observed wholesale as a displaced spurious image.
+        vectors = dict(VECTORS)
+        vectors.update(
+            {
+                10: np.array([4.0, 82.0]),
+                11: np.array([9.0, 72.0]),
+                12: np.array([16.0, 58.0]),
+                13: np.array([23.0, 44.0]),
+            }
+        )
+        m_co = m_co_with_stream([(0, 10), (1, 11), (2, 12), (3, 13)])
+        diagnosis = classify_system(m_co, vectors)
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_CHANGE
+        assert diagnosis.evidence["changed_pairs"]
+
+    def test_non_injective_shift_is_not_change(self):
+        # Two states collapse onto the same spurious symbol: that is a
+        # deletion-like collapse, not a one-to-one change...
+        m_co = m_co_with_stream([(0, 5), (1, 5), (2, 2), (3, 3)])
+        diagnosis = classify_system(m_co, VECTORS)
+        assert diagnosis.anomaly_type is not AnomalyType.DYNAMIC_CHANGE
+
+    def test_boundary_leakage_stays_none(self):
+        # 10% leakage to a neighbouring *real* state (paper Table 2).
+        pairs = [(0, 0)] * 9 + [(0, 1)] + [(1, 1), (2, 2), (3, 3)]
+        m_co = m_co_with_stream(pairs, n_repeats=10)
+        diagnosis = classify_system(m_co, VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.NONE
+
+    def test_empty_model_is_none(self):
+        diagnosis = classify_system(OnlineHMM(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.NONE
+
+    def test_attack_confidence_positive(self):
+        m_co = m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 2)])
+        diagnosis = classify_system(m_co, VECTORS)
+        assert diagnosis.confidence > 0.4
+
+
+class TestTrackClassification:
+    def test_stuck_at(self):
+        track = track_with_stream([(0, 4), (1, 4), (2, 4), (3, 4)])
+        diagnosis = classify_track(track, clean_m_co(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.STUCK_AT
+        assert diagnosis.category is AnomalyCategory.ERROR
+        assert diagnosis.evidence["stuck_symbol"] == 4
+
+    def test_stuck_at_with_bottom_interludes(self):
+        track = track_with_stream(
+            [(0, 4), (1, BOTTOM_STATE_ID), (2, 4), (3, 4)]
+        )
+        diagnosis = classify_track(track, clean_m_co(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.STUCK_AT
+
+    def test_calibration(self):
+        # One-to-one map with a consistent ratio: states 1->6, 2->7 use
+        # gains (0.806, 0.862); x^c / x^e = (1.24, 1.16) for both pairs.
+        track = track_with_stream([(1, 6), (2, 7)])
+        diagnosis = classify_track(track, clean_m_co(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.CALIBRATION
+        assert diagnosis.is_error
+
+    def test_additive(self):
+        track = track_with_stream([(1, 8), (2, 9)])
+        diagnosis = classify_track(track, clean_m_co(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.ADDITIVE
+
+    def test_attack_verdict_propagates_to_sensor(self):
+        m_co = m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 2)])
+        track = track_with_stream([(3, 2)])
+        diagnosis = classify_track(track, m_co, VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_DELETION
+        assert diagnosis.is_attack
+        assert diagnosis.sensor_id == 6
+
+    def test_short_track_gives_no_verdict(self):
+        track = track_with_stream([(0, 4)], n_repeats=2)
+        config = ClassifierConfig(min_track_length=5)
+        diagnosis = classify_track(track, clean_m_co(), VECTORS, config)
+        assert diagnosis.anomaly_type is AnomalyType.NONE
+        assert diagnosis.confidence == 0.0
+
+    def test_structureless_track_is_unknown(self):
+        # The sensor wanders over many states with no consistent map.
+        track = track_with_stream(
+            [(0, 2), (0, 3), (1, 0), (1, 3), (2, 0), (2, 1), (3, 1), (3, 0)]
+        )
+        diagnosis = classify_track(track, clean_m_co(), VECTORS)
+        assert diagnosis.anomaly_type is AnomalyType.UNKNOWN_ERROR
+
+
+class TestCompareStateAttributes:
+    def test_ratio_and_difference_statistics(self):
+        comparison = compare_state_attributes([(1, 6), (2, 7)], VECTORS)
+        assert comparison is not None
+        assert comparison.n_pairs == 2
+        assert np.allclose(comparison.ratio_mean, [1.24, 1.16], atol=0.01)
+        assert np.all(comparison.ratio_std < 0.02)
+
+    def test_ratio_omitted_near_zero(self):
+        vectors = {0: np.array([10.0, 10.0]), 1: np.array([5.0, 0.0])}
+        comparison = compare_state_attributes([(0, 1)], vectors)
+        assert comparison.ratio_mean is None
+        assert np.allclose(comparison.diff_mean, [5.0, 10.0])
+
+    def test_missing_vectors_skipped(self):
+        comparison = compare_state_attributes([(0, 99)], VECTORS)
+        assert comparison is None
+
+
+class TestAnomalyTaxonomy:
+    def test_categories(self):
+        assert AnomalyType.STUCK_AT.category is AnomalyCategory.ERROR
+        assert AnomalyType.CALIBRATION.category is AnomalyCategory.ERROR
+        assert AnomalyType.DYNAMIC_CREATION.category is AnomalyCategory.ATTACK
+        assert AnomalyType.MIXED.category is AnomalyCategory.ATTACK
+        assert AnomalyType.NONE.category is AnomalyCategory.NONE
+        assert AnomalyType.UNKNOWN_ERROR.category is AnomalyCategory.UNKNOWN
+
+
+class TestCoalitionGuard:
+    def test_lone_tracked_sensor_not_attributed_attack(self):
+        m_co = m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 2)])
+        track = track_with_stream([(0, 4), (1, 4), (2, 4), (3, 4)])
+        diagnosis = classify_track(
+            track, m_co, VECTORS, n_tracked_sensors=1
+        )
+        # With no coalition, the deletion-shaped B^CO is ignored and the
+        # sensor's own stuck signature wins.
+        assert diagnosis.anomaly_type is AnomalyType.STUCK_AT
+
+    def test_coalition_restores_attack_attribution(self):
+        m_co = m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 2)])
+        track = track_with_stream([(3, 2)])
+        diagnosis = classify_track(
+            track, m_co, VECTORS, n_tracked_sensors=4
+        )
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_DELETION
+
+    def test_none_skips_the_check(self):
+        m_co = m_co_with_stream([(0, 0), (1, 1), (2, 2), (3, 2)])
+        track = track_with_stream([(3, 2)])
+        diagnosis = classify_track(track, m_co, VECTORS, n_tracked_sensors=None)
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_DELETION

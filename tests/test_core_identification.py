@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.identification (Eqs. 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import OnlineStateClusterer
+from repro.core.identification import identify_window
+
+
+@pytest.fixture
+def clusterer() -> OnlineStateClusterer:
+    return OnlineStateClusterer(
+        initial_vectors=[
+            np.array([10.0, 90.0]),
+            np.array([20.0, 70.0]),
+            np.array([30.0, 50.0]),
+        ],
+        alpha=0.1,
+        spawn_threshold=8.0,
+        merge_threshold=3.0,
+    )
+
+
+class TestEq3Mapping:
+    def test_each_sensor_mapped_to_nearest_state(self, clusterer):
+        per_sensor = {
+            0: np.array([11.0, 89.0]),
+            1: np.array([29.0, 51.0]),
+        }
+        ident = identify_window(clusterer, per_sensor)
+        assert ident.sensor_states[0] == 0
+        assert ident.sensor_states[1] == 2
+
+
+class TestEq2Observable:
+    def test_observable_from_overall_mean(self, clusterer):
+        per_sensor = {0: np.array([10.0, 90.0]), 1: np.array([10.0, 90.0])}
+        ident = identify_window(
+            clusterer, per_sensor, overall_mean=np.array([30.0, 50.0])
+        )
+        assert ident.observable_state == 2
+
+    def test_observable_defaults_to_sensor_mean(self, clusterer):
+        per_sensor = {0: np.array([10.0, 90.0]), 1: np.array([30.0, 50.0])}
+        ident = identify_window(clusterer, per_sensor)
+        # Mean is (20, 70) -> state 1.
+        assert ident.observable_state == 1
+
+
+class TestEq4Correct:
+    def test_majority_cluster_wins(self, clusterer):
+        per_sensor = {
+            0: np.array([10.0, 90.0]),
+            1: np.array([11.0, 91.0]),
+            2: np.array([9.0, 89.0]),
+            3: np.array([30.0, 50.0]),
+        }
+        ident = identify_window(clusterer, per_sensor)
+        assert ident.correct_state == 0
+        assert ident.majority_size == 3
+        assert ident.n_sensors == 4
+        assert ident.majority_fraction == pytest.approx(0.75)
+
+    def test_tie_broken_toward_global_mean(self, clusterer):
+        # Two sensors at state 0, two at state 2; the overall mean is
+        # nearer state 2 because of an outlier-weighted mean.
+        per_sensor = {
+            0: np.array([10.0, 90.0]),
+            1: np.array([10.0, 90.0]),
+            2: np.array([30.0, 50.0]),
+            3: np.array([30.0, 50.0]),
+        }
+        ident = identify_window(
+            clusterer, per_sensor, overall_mean=np.array([28.0, 52.0])
+        )
+        assert ident.correct_state == 2
+
+    def test_disagreeing_sensors_listed(self, clusterer):
+        per_sensor = {
+            0: np.array([10.0, 90.0]),
+            1: np.array([10.0, 90.0]),
+            2: np.array([30.0, 50.0]),
+        }
+        ident = identify_window(clusterer, per_sensor)
+        assert ident.disagreeing_sensors() == [2]
+
+    def test_empty_window_rejected(self, clusterer):
+        with pytest.raises(ValueError):
+            identify_window(clusterer, {})
+
+    def test_single_sensor_is_its_own_majority(self, clusterer):
+        ident = identify_window(clusterer, {5: np.array([20.0, 70.0])})
+        assert ident.correct_state == 1
+        assert ident.majority_fraction == 1.0
+        assert ident.disagreeing_sensors() == []

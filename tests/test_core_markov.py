@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.markov (M_C / M_O estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov import compare_models, estimate_markov_model
+
+
+class TestEstimation:
+    def test_transition_probabilities_from_counts(self):
+        model = estimate_markov_model([0, 0, 1, 0, 0, 1])
+        # From 0: 0->0 twice, 0->1 twice; from 1: 1->0 once.
+        i0 = model.state_ids.index(0)
+        i1 = model.state_ids.index(1)
+        assert model.transition[i0, i0] == pytest.approx(0.5)
+        assert model.transition[i0, i1] == pytest.approx(0.5)
+        assert model.transition[i1, i0] == pytest.approx(1.0)
+
+    def test_rows_stochastic(self):
+        model = estimate_markov_model([2, 1, 2, 0, 1, 1, 2])
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+
+    def test_terminal_state_becomes_self_loop(self):
+        model = estimate_markov_model([0, 1])
+        i1 = model.state_ids.index(1)
+        assert model.transition[i1, i1] == pytest.approx(1.0)
+
+    def test_visit_counts(self):
+        model = estimate_markov_model([0, 0, 1])
+        assert model.visit_counts[model.state_ids.index(0)] == 2
+        assert model.visit_counts[model.state_ids.index(1)] == 1
+
+    def test_visit_fraction(self):
+        model = estimate_markov_model([0, 0, 0, 1])
+        assert model.visit_fraction(0) == pytest.approx(0.75)
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            estimate_markov_model([])
+
+    def test_state_vectors_attached(self):
+        vectors = {0: np.array([12.0, 94.0]), 1: np.array([31.0, 56.0])}
+        model = estimate_markov_model([0, 1, 0], state_vectors=vectors)
+        assert model.label(0) == "(12,94)"
+        assert model.label(1) == "(31,56)"
+
+    def test_label_fallback_without_vectors(self):
+        model = estimate_markov_model([5, 5])
+        assert model.label(5) == "s5"
+
+    def test_smoothing_spreads_mass(self):
+        raw = estimate_markov_model([0, 1, 0, 1])
+        smoothed = estimate_markov_model([0, 1, 0, 1], smoothing=1.0)
+        i0 = raw.state_ids.index(0)
+        assert raw.transition[i0, i0] == 0.0
+        assert smoothed.transition[i0, i0] > 0.0
+
+
+class TestGraphExport:
+    def test_to_graph_nodes_and_edges(self):
+        model = estimate_markov_model([0, 1, 0, 1, 1])
+        graph = model.to_graph(min_probability=0.01)
+        assert set(graph.nodes) == {0, 1}
+        assert graph.has_edge(0, 1)
+
+    def test_edge_set_excludes_self_loops(self):
+        model = estimate_markov_model([0, 0, 0, 1])
+        assert (0, 0) not in model.edge_set(min_probability=0.01)
+
+
+class TestPruning:
+    def test_spurious_state_dropped(self):
+        # State 2 is visited once in 100 steps: spurious (Fig. 7 case).
+        sequence = [0, 1] * 49 + [2, 0]
+        model = estimate_markov_model(sequence)
+        pruned = model.prune(min_visit_fraction=0.05)
+        assert 2 not in pruned.state_ids
+        assert set(pruned.state_ids) == {0, 1}
+
+    def test_pruned_rows_renormalised(self):
+        sequence = [0, 1] * 49 + [2, 0]
+        pruned = estimate_markov_model(sequence).prune(0.05)
+        assert np.allclose(pruned.transition.sum(axis=1), 1.0)
+
+    def test_prune_keeps_everything_when_balanced(self):
+        model = estimate_markov_model([0, 1, 0, 1])
+        assert model.prune(0.1).n_states == 2
+
+    def test_prune_never_empties_model(self):
+        model = estimate_markov_model([0])
+        assert model.prune(2.0).n_states == 1
+
+
+class TestComparison:
+    def test_identical_models_compare_equal(self):
+        a = estimate_markov_model([0, 1, 2, 0, 1, 2])
+        b = estimate_markov_model([0, 1, 2, 0, 1, 2])
+        comparison = compare_models(a, b)
+        assert comparison.same_structure
+        assert comparison.only_in_first == 0
+
+    def test_extra_state_breaks_structure(self):
+        a = estimate_markov_model([0, 1, 0, 1])
+        b = estimate_markov_model([0, 1, 3, 0, 1, 3])
+        comparison = compare_models(a, b)
+        assert not comparison.same_structure
+        assert not comparison.same_state_count
+
+    def test_edge_differences_counted(self):
+        a = estimate_markov_model([0, 1, 0, 1])
+        b = estimate_markov_model([1, 0, 0, 1, 1, 0])
+        comparison = compare_models(a, b, min_probability=0.05)
+        assert comparison.common_edges >= 1

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.orthogonality (the §3.4 structural tests)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online_hmm import EmissionMatrix
+from repro.core.orthogonality import (
+    analyze_orthogonality,
+    column_gram,
+    has_all_ones_column,
+    row_gram,
+)
+
+
+def emission(matrix, states=None, symbols=None) -> EmissionMatrix:
+    matrix = np.asarray(matrix, dtype=float)
+    return EmissionMatrix(
+        matrix=matrix,
+        state_ids=tuple(states or range(matrix.shape[0])),
+        symbol_ids=tuple(symbols or range(matrix.shape[1])),
+    )
+
+
+class TestGrams:
+    def test_row_gram_of_identity(self):
+        assert np.allclose(row_gram(np.eye(3)), np.eye(3))
+
+    def test_column_gram_of_identity(self):
+        assert np.allclose(column_gram(np.eye(3)), np.eye(3))
+
+    def test_row_gram_detects_shared_symbol(self):
+        matrix = np.array([[0.0, 1.0], [0.0, 1.0]])
+        gram = row_gram(matrix)
+        assert gram[0, 1] == pytest.approx(1.0)
+
+    def test_column_gram_detects_split_row(self):
+        matrix = np.array([[0.35, 0.65]])
+        gram = column_gram(matrix)
+        assert gram[0, 1] == pytest.approx(0.35 * 0.65)
+
+
+class TestAnalyzeOrthogonality:
+    def test_identity_is_fully_orthogonal(self):
+        report = analyze_orthogonality(emission(np.eye(4)))
+        assert report.fully_orthogonal
+        assert report.max_row_cross == 0.0
+        assert report.min_row_self == 1.0
+
+    def test_deletion_shape_breaks_rows_only(self):
+        # Two hidden states emit the same symbol (paper Table 6 shape).
+        matrix = np.array(
+            [[0.0, 1.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        report = analyze_orthogonality(emission(matrix))
+        assert not report.rows_orthogonal
+        assert report.columns_orthogonal
+        assert (0, 1) in report.offending_row_pairs
+
+    def test_creation_shape_breaks_columns_only(self):
+        # One hidden state splits between two symbols (Table 7 shape).
+        matrix = np.array([[0.35, 0.65, 0.0], [0.0, 0.0, 1.0]])
+        report = analyze_orthogonality(emission(matrix))
+        assert report.rows_orthogonal
+        assert not report.columns_orthogonal
+        assert (0, 1) in report.offending_column_pairs
+
+    def test_small_leakage_tolerated(self):
+        # The paper's own Table 2 leakage (0.11 / 0.17) must pass.
+        matrix = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.11, 0.89, 0.0],
+                [0.0, 0.17, 0.83],
+            ]
+        )
+        report = analyze_orthogonality(emission(matrix))
+        assert report.rows_orthogonal
+
+    def test_offending_pairs_use_state_ids(self):
+        matrix = np.array([[0.0, 1.0], [0.0, 1.0]])
+        report = analyze_orthogonality(
+            emission(matrix, states=(10, 20), symbols=(10, 20))
+        )
+        assert report.offending_row_pairs == ((10, 20),)
+
+    def test_empty_matrix_fully_orthogonal(self):
+        report = analyze_orthogonality(
+            EmissionMatrix(matrix=np.zeros((0, 0)), state_ids=(), symbol_ids=())
+        )
+        assert report.fully_orthogonal
+
+    def test_single_row_matrix(self):
+        report = analyze_orthogonality(emission(np.array([[1.0]])))
+        assert report.fully_orthogonal
+
+    def test_custom_tolerances(self):
+        matrix = np.array([[0.7, 0.3], [0.0, 1.0]])
+        loose = analyze_orthogonality(emission(matrix), row_tolerance=0.5)
+        strict = analyze_orthogonality(emission(matrix), row_tolerance=0.1)
+        assert loose.rows_orthogonal
+        assert not strict.rows_orthogonal
+
+
+class TestStuckAtSignature:
+    def test_all_ones_column_detected(self):
+        matrix = np.array([[0.0, 1.0], [0.0, 1.0], [0.0, 1.0]])
+        matches, symbol = has_all_ones_column(
+            emission(matrix, symbols=(4, 9))
+        )
+        assert matches
+        assert symbol == 9
+
+    def test_paper_table3_shape_passes(self):
+        # Paper Table 3 after dropping ⊥: weakest row holds 0.67.
+        matrix = np.array(
+            [[0.0, 1.0], [0.0, 1.0], [0.0, 0.9], [0.33, 0.67], [0.01, 0.99]]
+        )
+        matrix = matrix / matrix.sum(axis=1, keepdims=True)
+        matches, symbol = has_all_ones_column(emission(matrix, symbols=(0, 1)))
+        assert matches
+        assert symbol == 1
+
+    def test_one_to_one_matrix_is_not_stuck(self):
+        matches, _ = has_all_ones_column(emission(np.eye(3)))
+        assert not matches
+
+    def test_threshold_respected(self):
+        matrix = np.array([[0.5, 0.5], [0.45, 0.55]])
+        strict, _ = has_all_ones_column(emission(matrix), threshold=0.6)
+        loose, _ = has_all_ones_column(emission(matrix), threshold=0.4)
+        assert not strict
+        assert loose
+
+    def test_empty_matrix_is_not_stuck(self):
+        matches, _ = has_all_ones_column(
+            EmissionMatrix(matrix=np.zeros((0, 0)), state_ids=(), symbol_ids=())
+        )
+        assert not matches

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.states (ModelState and StateSet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import BOTTOM_STATE_ID, ModelState, StateSet
+
+
+class TestModelState:
+    def test_distance(self):
+        state = ModelState(state_id=0, vector=np.array([3.0, 4.0]))
+        assert state.distance_to(np.array([0.0, 0.0])) == pytest.approx(5.0)
+
+    def test_label_format(self):
+        state = ModelState(state_id=0, vector=np.array([12.4, 93.6]))
+        assert state.label() == "(12,94)"
+
+    def test_vector_is_copied(self):
+        source = np.array([1.0, 2.0])
+        state = ModelState(state_id=0, vector=source)
+        source[0] = 99.0
+        assert state.vector[0] == 1.0
+
+    def test_rejects_empty_vector(self):
+        with pytest.raises(ValueError):
+            ModelState(state_id=0, vector=np.array([]))
+
+    def test_bottom_sentinel_is_negative(self):
+        assert BOTTOM_STATE_ID < 0
+
+
+class TestStateSet:
+    def test_spawn_assigns_fresh_ids(self):
+        states = StateSet()
+        a = states.spawn(np.array([1.0, 1.0]))
+        b = states.spawn(np.array([2.0, 2.0]))
+        assert a.state_id != b.state_id
+        assert len(states) == 2
+
+    def test_initial_vectors(self):
+        states = StateSet([np.array([1.0]), np.array([2.0])])
+        assert len(states) == 2
+        assert states.state_ids == [0, 1]
+
+    def test_nearest(self):
+        states = StateSet([np.array([0.0, 0.0]), np.array([10.0, 0.0])])
+        nearest, distance = states.nearest(np.array([7.0, 0.0]))
+        assert nearest.state_id == 1
+        assert distance == pytest.approx(3.0)
+
+    def test_nearest_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            StateSet().nearest(np.array([0.0]))
+
+    def test_merge_aliases_dropped_id(self):
+        states = StateSet([np.array([0.0]), np.array([1.0])])
+        states.merge(keep_id=0, drop_id=1)
+        assert len(states) == 1
+        assert states.resolve(1) == 0
+        assert states.get(1).state_id == 0
+
+    def test_merge_weights_by_visits(self):
+        states = StateSet([np.array([0.0]), np.array([10.0])])
+        states.get(0).visits = 3
+        states.get(1).visits = 1
+        merged = states.merge(0, 1)
+        assert merged.vector[0] == pytest.approx(2.5)
+        assert merged.visits == 4
+
+    def test_merge_is_idempotent_on_same_id(self):
+        states = StateSet([np.array([0.0])])
+        merged = states.merge(0, 0)
+        assert merged.state_id == 0
+        assert len(states) == 1
+
+    def test_alias_chains_resolve(self):
+        states = StateSet([np.array([0.0]), np.array([1.0]), np.array([2.0])])
+        states.merge(1, 2)
+        states.merge(0, 1)
+        assert states.resolve(2) == 0
+
+    def test_spawned_after_merge_gets_new_id(self):
+        states = StateSet([np.array([0.0]), np.array([1.0])])
+        states.merge(0, 1)
+        fresh = states.spawn(np.array([5.0]))
+        assert fresh.state_id == 2
+
+    def test_closest_pair(self):
+        states = StateSet(
+            [np.array([0.0]), np.array([1.0]), np.array([10.0])]
+        )
+        pair = states.closest_pair()
+        assert pair is not None
+        assert set(pair[:2]) == {0, 1}
+        assert pair[2] == pytest.approx(1.0)
+
+    def test_closest_pair_needs_two_states(self):
+        assert StateSet([np.array([0.0])]).closest_pair() is None
+
+    def test_vectors_matrix(self):
+        states = StateSet([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert states.vectors().shape == (2, 2)
+
+    def test_contains_follows_aliases(self):
+        states = StateSet([np.array([0.0]), np.array([1.0])])
+        states.merge(0, 1)
+        assert 1 in states
+
+    def test_labels(self):
+        states = StateSet([np.array([12.0, 94.0])])
+        assert states.labels() == {0: "(12,94)"}

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.tracks (error/attack track management)."""
+
+import pytest
+
+from repro.core.states import BOTTOM_STATE_ID
+from repro.core.tracks import TrackManager
+
+
+class TestTrackLifecycle:
+    def test_open_and_close(self):
+        manager = TrackManager()
+        track = manager.open_track(sensor_id=3, window_index=10)
+        assert track.is_open
+        assert manager.open_sensor_ids == [3]
+        closed = manager.close_track(3, window_index=20)
+        assert closed is track
+        assert not track.is_open
+        assert track.closed_window == 20
+        assert manager.open_sensor_ids == []
+
+    def test_open_is_idempotent_while_active(self):
+        manager = TrackManager()
+        first = manager.open_track(3, 10)
+        second = manager.open_track(3, 12)
+        assert first is second
+        assert manager.n_tracks == 1
+
+    def test_reopen_after_close_creates_new_track(self):
+        manager = TrackManager()
+        manager.open_track(3, 10)
+        manager.close_track(3, 20)
+        manager.open_track(3, 30)
+        assert manager.n_tracks == 2
+        tracks = manager.tracks_for_sensor(3)
+        assert tracks[0].closed_window == 20
+        assert tracks[1].is_open
+
+    def test_track_ids_sequential(self):
+        manager = TrackManager()
+        a = manager.open_track(1, 5)
+        b = manager.open_track(2, 5)
+        assert (a.track_id, b.track_id) == (1, 2)
+
+    def test_close_unknown_sensor_is_none(self):
+        assert TrackManager().close_track(9, 1) is None
+
+    def test_latest_track_for(self):
+        manager = TrackManager()
+        assert manager.latest_track_for(1) is None
+        manager.open_track(1, 5)
+        manager.close_track(1, 6)
+        manager.open_track(1, 9)
+        assert manager.latest_track_for(1).opened_window == 9
+
+
+class TestRecording:
+    def test_disagreement_records_mapped_state(self):
+        manager = TrackManager()
+        manager.open_track(3, 1)
+        manager.record_window(correct_state=0, sensor_states={3: 5})
+        track = manager.latest_track_for(3)
+        assert track.symbols == [(0, 5)]
+
+    def test_agreement_records_bottom(self):
+        manager = TrackManager()
+        manager.open_track(3, 1)
+        manager.record_window(correct_state=0, sensor_states={3: 0})
+        track = manager.latest_track_for(3)
+        assert track.symbols == [(0, BOTTOM_STATE_ID)]
+
+    def test_missing_sensor_contributes_nothing(self):
+        manager = TrackManager()
+        manager.open_track(3, 1)
+        manager.record_window(correct_state=0, sensor_states={1: 0})
+        assert manager.latest_track_for(3).length == 0
+
+    def test_only_open_tracks_record(self):
+        manager = TrackManager()
+        manager.open_track(3, 1)
+        manager.close_track(3, 2)
+        manager.record_window(correct_state=0, sensor_states={3: 5})
+        assert manager.latest_track_for(3).length == 0
+
+    def test_m_ce_is_updated_per_record(self):
+        manager = TrackManager()
+        manager.open_track(3, 1)
+        for _ in range(5):
+            manager.record_window(correct_state=0, sensor_states={3: 7})
+        track = manager.latest_track_for(3)
+        assert track.model.n_updates == 5
+        emission = track.model.emission_matrix()
+        assert 7 in emission.symbol_ids
+
+    def test_disagreement_fraction(self):
+        manager = TrackManager()
+        manager.open_track(3, 1)
+        manager.record_window(0, {3: 5})
+        manager.record_window(0, {3: 0})
+        track = manager.latest_track_for(3)
+        assert track.disagreement_fraction() == pytest.approx(0.5)
+
+    def test_empty_track_disagreement_is_zero(self):
+        manager = TrackManager()
+        track = manager.open_track(3, 1)
+        assert track.disagreement_fraction() == 0.0
+
+    def test_multiple_open_tracks_record_independently(self):
+        manager = TrackManager()
+        manager.open_track(1, 1)
+        manager.open_track(2, 1)
+        manager.record_window(0, {1: 4, 2: 0})
+        assert manager.latest_track_for(1).symbols == [(0, 4)]
+        assert manager.latest_track_for(2).symbols == [(0, BOTTOM_STATE_ID)]

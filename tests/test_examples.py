@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts run end to end and tell the truth.
+
+The two heavyweight paper-study examples (habitat_monitoring,
+attack_forensics) are exercised through their underlying experiment
+functions elsewhere; here the three fast examples run as a user would
+run them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example as __main__ and capture its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_diagnoses_stuck_sensor(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "sensor 6: error / stuck_at" in out
+        assert "system-level verdict: none" in out
+        assert "M_C states" in out
+
+
+class TestLiveDeployment:
+    def test_streams_and_diagnoses_drift(self, capsys):
+        out = run_example("live_deployment.py", capsys)
+        assert "filtered alarm RAISED for sensor 4" in out
+        assert "sensor 4: error / stuck_at" in out
+        assert "delivery:" in out
+
+
+class TestClusterMonitoring:
+    def test_reports_all_three_incidents(self, capsys):
+        out = run_example("cluster_monitoring.py", capsys)
+        assert "memory leak on replica 4" in out
+        assert "replica 4 diagnosis: stuck_at" in out
+        assert "system verdict: deletion" in out
+
+
+class TestExamplesAreListed:
+    def test_every_example_file_has_a_main_guard(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            text = path.read_text()
+            assert '__name__ == "__main__"' in text, path.name
+            assert text.startswith("#!/usr/bin/env python3"), path.name

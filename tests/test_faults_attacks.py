@@ -1,0 +1,190 @@
+"""Unit tests for repro.faults.attacks (adversary models)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BenignAttack,
+    DynamicChangeAttack,
+    DynamicCreationAttack,
+    DynamicDeletionAttack,
+    MixedAttack,
+    coordinated_report,
+)
+from repro.sensornet import SensorMessage
+
+
+def msg(attrs=(13.0, 93.0), t=100.0) -> SensorMessage:
+    return SensorMessage(sensor_id=0, timestamp=t, attributes=attrs)
+
+
+RANGES = ((-10.0, 60.0), (0.0, 100.0))
+
+
+class TestCoordinatedReport:
+    def test_moves_mean_exactly_when_unclipped(self):
+        truth = np.array([20.0, 70.0])
+        target = np.array([24.0, 60.0])
+        fraction = 0.4
+        report = coordinated_report(truth, target, fraction, RANGES)
+        mean = (1 - fraction) * truth + fraction * report
+        assert np.allclose(mean, target)
+
+    def test_clips_to_admissible_ranges(self):
+        truth = np.array([20.0, 95.0])
+        target = np.array([20.0, 40.0])  # needs humidity far below 0
+        report = coordinated_report(truth, target, 0.2, RANGES)
+        assert report[1] == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            coordinated_report(np.zeros(2), np.zeros(2), 0.0, RANGES)
+
+
+class TestDynamicCreationAttack:
+    def test_injects_during_on_phase(self):
+        attack = DynamicCreationAttack(
+            target=(14.0, 55.0),
+            fraction=0.4,
+            period_minutes=240.0,
+            on_fraction=0.5,
+        )
+        truth = np.array([13.0, 93.0])
+        on = attack.corrupt(msg(), truth, elapsed_minutes=30.0)
+        off = attack.corrupt(msg(), truth, elapsed_minutes=150.0)
+        assert on.attributes != msg().attributes
+        assert off.attributes == msg().attributes
+
+    def test_mean_lands_on_target_during_injection(self):
+        # Target chosen so the coordinated report stays unclipped.
+        attack = DynamicCreationAttack(target=(14.0, 56.0), fraction=0.4)
+        truth = np.array([13.0, 93.0])
+        report = attack.corrupt(msg(), truth, 0.0).vector
+        mean = 0.6 * truth + 0.4 * report
+        assert np.allclose(mean, [14.0, 56.0], atol=1e-9)
+
+    def test_trigger_region_gates_injection(self):
+        attack = DynamicCreationAttack(
+            trigger=(13.0, 93.0), trigger_radius=3.0, target=(14.0, 55.0)
+        )
+        inside = attack.corrupt(msg(), np.array([13.0, 93.0]), 0.0)
+        outside = attack.corrupt(msg(), np.array([30.0, 60.0]), 0.0)
+        assert inside.attributes != msg().attributes
+        assert outside.attributes == msg().attributes
+
+    def test_values_stay_in_admissible_range(self):
+        attack = DynamicCreationAttack(target=(14.0, 5.0), fraction=0.1)
+        report = attack.corrupt(msg(), np.array([13.0, 93.0]), 0.0).vector
+        assert -10.0 <= report[0] <= 60.0
+        assert 0.0 <= report[1] <= 100.0
+
+    def test_is_malicious(self):
+        attack = DynamicCreationAttack()
+        assert attack.malicious and attack.kind == "creation"
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ValueError):
+            DynamicCreationAttack(on_fraction=0.0)
+        with pytest.raises(ValueError):
+            DynamicCreationAttack(period_minutes=0.0)
+
+
+class TestDynamicDeletionAttack:
+    def test_active_only_near_deleted_state(self):
+        attack = DynamicDeletionAttack(
+            deleted_state=(31.0, 57.0), hold_state=(24.0, 70.0), radius=5.0,
+            fraction=0.4,
+        )
+        near = attack.corrupt(msg(), np.array([31.0, 57.0]), 0.0)
+        far = attack.corrupt(msg(), np.array([13.0, 93.0]), 0.0)
+        assert near.attributes != msg().attributes
+        assert far.attributes == msg().attributes
+
+    def test_holds_mean_at_hold_state(self):
+        attack = DynamicDeletionAttack(
+            deleted_state=(31.0, 57.0), hold_state=(24.0, 70.0), radius=5.0,
+            fraction=0.4,
+        )
+        truth = np.array([31.0, 57.0])
+        report = attack.corrupt(msg(), truth, 0.0).vector
+        mean = 0.6 * truth + 0.4 * report
+        assert np.allclose(mean, [24.0, 70.0], atol=1e-9)
+
+
+class TestDynamicChangeAttack:
+    def test_maps_each_state_to_its_image(self):
+        attack = DynamicChangeAttack(
+            mapping=(((10.0, 90.0), (2.0, 78.0)), ((30.0, 60.0), (22.0, 48.0))),
+            fraction=0.5,
+        )
+        truth = np.array([10.0, 90.0])
+        report = attack.corrupt(msg(), truth, 0.0).vector
+        mean = 0.5 * truth + 0.5 * report
+        assert np.allclose(mean, [2.0, 78.0], atol=1e-9)
+
+    def test_nearest_source_selected(self):
+        attack = DynamicChangeAttack(
+            mapping=(((10.0, 90.0), (2.0, 78.0)), ((30.0, 60.0), (22.0, 48.0))),
+            fraction=0.5,
+        )
+        truth = np.array([28.0, 62.0])  # nearest source is (30, 60)
+        report = attack.corrupt(msg(), truth, 0.0).vector
+        mean = 0.5 * truth + 0.5 * report
+        assert np.allclose(mean, [22.0, 48.0], atol=1e-9)
+
+    def test_rejects_non_injective_mapping(self):
+        with pytest.raises(ValueError):
+            DynamicChangeAttack(
+                mapping=(
+                    ((10.0, 90.0), (2.0, 78.0)),
+                    ((30.0, 60.0), (2.0, 78.0)),
+                )
+            )
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ValueError):
+            DynamicChangeAttack(mapping=())
+
+
+class TestMixedAttack:
+    def test_first_modifying_component_wins(self):
+        attack = MixedAttack(
+            components=(
+                DynamicDeletionAttack(
+                    deleted_state=(31.0, 57.0), hold_state=(24.0, 70.0),
+                    radius=5.0, fraction=0.4,
+                ),
+                DynamicCreationAttack(
+                    trigger=(13.0, 93.0), trigger_radius=3.0,
+                    target=(14.0, 55.0), fraction=0.4,
+                ),
+            )
+        )
+        hot = attack.corrupt(msg(), np.array([31.0, 57.0]), 0.0)
+        cold = attack.corrupt(msg(), np.array([13.0, 93.0]), 0.0)
+        quiet = attack.corrupt(msg(), np.array([20.0, 78.0]), 0.0)
+        assert hot.attributes != msg().attributes
+        assert cold.attributes != msg().attributes
+        assert quiet.attributes == msg().attributes
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(ValueError):
+            MixedAttack(components=())
+
+    def test_kind(self):
+        assert MixedAttack().kind == "mixed"
+
+
+class TestBenignAttack:
+    def test_reports_truth_plus_small_noise(self):
+        attack = BenignAttack(mimic_noise_std=0.1, seed=4)
+        truth = np.array([20.0, 75.0])
+        reports = np.vstack(
+            [attack.corrupt(msg((99.0, 99.0)), truth, 0.0).vector for _ in range(200)]
+        )
+        assert np.allclose(reports.mean(axis=0), truth, atol=0.1)
+
+    def test_marked_malicious_but_benign_kind(self):
+        attack = BenignAttack()
+        assert attack.malicious
+        assert attack.kind == "benign"

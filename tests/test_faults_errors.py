@@ -1,0 +1,166 @@
+"""Unit tests for repro.faults.errors (accidental-fault models)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ActivationSchedule,
+    AdditiveFault,
+    CalibrationFault,
+    DriftFault,
+    IntermittentFault,
+    PacketDropper,
+    RandomNoiseFault,
+    StuckAtFault,
+    clip_to_ranges,
+)
+from repro.sensornet import SensorMessage
+
+TRUTH = np.array([20.0, 75.0])
+
+
+def msg(attrs=(20.5, 74.5)) -> SensorMessage:
+    return SensorMessage(sensor_id=0, timestamp=100.0, attributes=attrs)
+
+
+class TestActivationSchedule:
+    def test_always_active_by_default(self):
+        schedule = ActivationSchedule()
+        assert schedule.active_at(0.0)
+        assert schedule.active_at(1e9)
+
+    def test_respects_bounds(self):
+        schedule = ActivationSchedule(start_minutes=10.0, end_minutes=20.0)
+        assert not schedule.active_at(9.9)
+        assert schedule.active_at(10.0)
+        assert schedule.active_at(19.9)
+        assert not schedule.active_at(20.0)
+
+    def test_elapsed(self):
+        schedule = ActivationSchedule(start_minutes=10.0)
+        assert schedule.elapsed(5.0) == 0.0
+        assert schedule.elapsed(25.0) == 15.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            ActivationSchedule(start_minutes=10.0, end_minutes=5.0)
+
+
+class TestClipToRanges:
+    def test_clips_each_attribute(self):
+        out = clip_to_ranges(np.array([100.0, -5.0]), ((-10, 60), (0, 100)))
+        assert np.allclose(out, [60.0, 0.0])
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            clip_to_ranges(np.array([1.0]), ((-10, 60), (0, 100)))
+
+
+class TestStuckAtFault:
+    def test_always_reports_stuck_value(self):
+        fault = StuckAtFault(value=(15.0, 1.0))
+        out = fault.corrupt(msg(), TRUTH, 0.0)
+        assert out.attributes == (15.0, 1.0)
+
+    def test_not_malicious(self):
+        assert not StuckAtFault().malicious
+        assert StuckAtFault().kind == "stuck_at"
+
+    def test_rejects_dimension_mismatch(self):
+        fault = StuckAtFault(value=(15.0,))
+        with pytest.raises(ValueError):
+            fault.corrupt(msg(), TRUTH, 0.0)
+
+
+class TestCalibrationFault:
+    def test_scales_own_reading(self):
+        fault = CalibrationFault(gains=(2.0, 0.5))
+        out = fault.corrupt(msg((10.0, 80.0)), TRUTH, 0.0)
+        assert np.allclose(out.vector, [20.0, 40.0])
+
+    def test_rejects_nonpositive_gain(self):
+        with pytest.raises(ValueError):
+            CalibrationFault(gains=(0.0, 1.0))
+
+    def test_default_matches_paper_sensor7(self):
+        fault = CalibrationFault()
+        out = fault.corrupt(msg((24.8, 70.0)), TRUTH, 0.0)
+        assert out.vector[0] == pytest.approx(24.8 / 1.24)
+        assert out.vector[1] == pytest.approx(70.0 * 1.16)
+
+
+class TestAdditiveFault:
+    def test_shifts_own_reading(self):
+        fault = AdditiveFault(offsets=(5.0, -10.0))
+        out = fault.corrupt(msg((20.0, 75.0)), TRUTH, 0.0)
+        assert np.allclose(out.vector, [25.0, 65.0])
+
+
+class TestRandomNoiseFault:
+    def test_zero_mean_high_variance(self):
+        fault = RandomNoiseFault(noise_std=8.0, seed=1)
+        deltas = np.vstack(
+            [
+                fault.corrupt(msg((20.0, 75.0)), TRUTH, 0.0).vector
+                - np.array([20.0, 75.0])
+                for _ in range(2000)
+            ]
+        )
+        assert np.allclose(deltas.mean(axis=0), 0.0, atol=0.6)
+        assert np.allclose(deltas.std(axis=0), 8.0, atol=0.6)
+
+    def test_rejects_nonpositive_std(self):
+        with pytest.raises(ValueError):
+            RandomNoiseFault(noise_std=0.0)
+
+
+class TestDriftFault:
+    def test_starts_near_reading_ends_at_terminal(self):
+        fault = DriftFault(terminal=(15.0, 1.0), ramp_minutes=100.0)
+        start = fault.corrupt(msg((20.0, 75.0)), TRUTH, 0.0)
+        end = fault.corrupt(msg((20.0, 75.0)), TRUTH, 100.0)
+        assert np.allclose(start.vector, [20.0, 75.0])
+        assert np.allclose(end.vector, [15.0, 1.0])
+
+    def test_half_way_is_midpoint(self):
+        fault = DriftFault(terminal=(10.0, 0.0), ramp_minutes=100.0)
+        mid = fault.corrupt(msg((20.0, 100.0)), TRUTH, 50.0)
+        assert np.allclose(mid.vector, [15.0, 50.0])
+
+    def test_saturates_after_ramp(self):
+        fault = DriftFault(terminal=(15.0, 1.0), ramp_minutes=10.0)
+        late = fault.corrupt(msg((20.0, 75.0)), TRUTH, 1e6)
+        assert np.allclose(late.vector, [15.0, 1.0])
+
+
+class TestPacketDropper:
+    def test_drops_expected_fraction(self):
+        dropper = PacketDropper(
+            inner=StuckAtFault(value=(15.0, 1.0)), drop_probability=0.5, seed=2
+        )
+        outcomes = [dropper.corrupt(msg(), TRUTH, 0.0) for _ in range(2000)]
+        delivered = [o for o in outcomes if o is not None]
+        assert 850 < len(delivered) < 1150
+        assert all(o.attributes == (15.0, 1.0) for o in delivered)
+
+    def test_kind_and_maliciousness_delegate_to_inner(self):
+        dropper = PacketDropper(inner=CalibrationFault())
+        assert dropper.kind == "calibration"
+        assert not dropper.malicious
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            PacketDropper(drop_probability=1.0)
+
+
+class TestIntermittentFault:
+    def test_duty_cycle_mixes_clean_and_faulty(self):
+        fault = IntermittentFault(
+            inner=StuckAtFault(value=(0.0, 0.0)), duty_cycle=0.5, seed=3
+        )
+        outputs = [fault.corrupt(msg(), TRUTH, 0.0) for _ in range(1000)]
+        stuck = sum(1 for o in outputs if o.attributes == (0.0, 0.0))
+        assert 400 < stuck < 600
+
+    def test_kind_is_prefixed(self):
+        assert IntermittentFault().kind == "intermittent_stuck_at"

@@ -1,0 +1,129 @@
+"""Unit tests for repro.hmm.algorithms (forward/backward inference).
+
+The core correctness check compares the scaled implementation against a
+brute-force enumeration of all hidden paths on small models.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    DiscreteHMM,
+    expected_transitions,
+    forward_backward,
+    log_likelihood,
+    per_symbol_log_likelihood,
+    posterior_states,
+)
+
+
+def brute_force_likelihood(model: DiscreteHMM, obs) -> float:
+    """Sum Pr{path, O} over every hidden path (exponential; tests only)."""
+    total = 0.0
+    n = len(obs)
+    for path in itertools.product(range(model.n_states), repeat=n):
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, n):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        total += p
+    return total
+
+
+@pytest.fixture
+def model(rng) -> DiscreteHMM:
+    return DiscreteHMM.random(3, 4, rng)
+
+
+class TestLogLikelihood:
+    def test_matches_brute_force(self, model, rng):
+        for _ in range(5):
+            obs = rng.integers(0, 4, size=6)
+            expected = np.log(brute_force_likelihood(model, list(obs)))
+            assert np.isclose(log_likelihood(model, obs), expected, atol=1e-10)
+
+    def test_single_observation(self, model):
+        value = log_likelihood(model, [2])
+        expected = np.log(np.sum(model.initial * model.emission[:, 2]))
+        assert np.isclose(value, expected)
+
+    def test_impossible_sequence_is_neg_inf(self):
+        model = DiscreteHMM(
+            transition=np.eye(2),
+            emission=[[1.0, 0.0], [1.0, 0.0]],
+            initial=[0.5, 0.5],
+        )
+        assert log_likelihood(model, [1]) == float("-inf")
+
+    def test_longer_sequences_not_underflowing(self, model, rng):
+        obs = rng.integers(0, 4, size=500)
+        value = log_likelihood(model, obs)
+        assert np.isfinite(value)
+        assert value < 0.0
+
+    def test_per_symbol_normalisation(self, model, rng):
+        obs = rng.integers(0, 4, size=50)
+        total = log_likelihood(model, obs)
+        assert np.isclose(per_symbol_log_likelihood(model, obs), total / 50)
+
+
+class TestForwardBackward:
+    def test_gamma_rows_sum_to_one(self, model, rng):
+        obs = rng.integers(0, 4, size=20)
+        result = forward_backward(model, obs)
+        assert np.allclose(result.gamma.sum(axis=1), 1.0)
+
+    def test_alpha_rows_sum_to_one(self, model, rng):
+        obs = rng.integers(0, 4, size=20)
+        result = forward_backward(model, obs)
+        assert np.allclose(result.alpha.sum(axis=1), 1.0)
+
+    def test_loglik_matches_direct(self, model, rng):
+        obs = rng.integers(0, 4, size=30)
+        result = forward_backward(model, obs)
+        assert np.isclose(result.log_likelihood, log_likelihood(model, obs))
+
+    def test_gamma_matches_brute_force_posterior(self, model, rng):
+        obs = list(rng.integers(0, 4, size=5))
+        result = forward_backward(model, obs)
+        # Brute-force posterior for t=2.
+        t_check = 2
+        numerators = np.zeros(model.n_states)
+        for path in itertools.product(range(model.n_states), repeat=len(obs)):
+            p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+            for t in range(1, len(obs)):
+                p *= model.transition[path[t - 1], path[t]]
+                p *= model.emission[path[t], obs[t]]
+            numerators[path[t_check]] += p
+        expected = numerators / numerators.sum()
+        assert np.allclose(result.gamma[t_check], expected, atol=1e-10)
+
+    def test_posterior_states_wrapper(self, model, rng):
+        obs = rng.integers(0, 4, size=10)
+        gamma = posterior_states(model, obs)
+        assert gamma.shape == (10, model.n_states)
+
+
+class TestExpectedTransitions:
+    def test_counts_sum_to_sequence_length_minus_one(self, model, rng):
+        obs = rng.integers(0, 4, size=25)
+        counts = expected_transitions(model, obs)
+        assert np.isclose(counts.sum(), 24.0)
+
+    def test_counts_non_negative(self, model, rng):
+        obs = rng.integers(0, 4, size=12)
+        assert np.all(expected_transitions(model, obs) >= 0.0)
+
+    def test_deterministic_chain_counts(self):
+        # A deterministic cycle 0 -> 1 -> 0 with identity emission.
+        model = DiscreteHMM(
+            transition=[[0.0, 1.0], [1.0, 0.0]],
+            emission=np.eye(2),
+            initial=[1.0, 0.0],
+        )
+        counts = expected_transitions(model, [0, 1, 0, 1])
+        assert np.isclose(counts[0, 1], 2.0)
+        assert np.isclose(counts[1, 0], 1.0)
+        assert np.isclose(counts[0, 0] + counts[1, 1], 0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.hmm.baum_welch (EM training)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    DiscreteHMM,
+    baum_welch,
+    fit_random_restarts,
+    log_likelihood,
+    sample_sequence,
+)
+
+
+@pytest.fixture
+def ground_truth() -> DiscreteHMM:
+    """A well-separated two-state model that EM should recover."""
+    return DiscreteHMM(
+        transition=[[0.9, 0.1], [0.2, 0.8]],
+        emission=[[0.95, 0.05], [0.1, 0.9]],
+        initial=[0.5, 0.5],
+    )
+
+
+class TestBaumWelch:
+    def test_likelihood_is_monotone_nondecreasing(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 300, rng).observations
+        start = DiscreteHMM.random(2, 2, rng)
+        result = baum_welch(start, [data], max_iterations=20)
+        diffs = np.diff(result.log_likelihoods)
+        assert np.all(diffs > -1e-6)
+
+    def test_improves_over_initial_model(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 300, rng).observations
+        start = DiscreteHMM.random(2, 2, rng)
+        result = baum_welch(start, [data], max_iterations=30)
+        assert log_likelihood(result.model, data) > log_likelihood(start, data)
+
+    def test_result_matrices_are_stochastic(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 100, rng).observations
+        result = baum_welch(DiscreteHMM.uniform(2, 2), [data])
+        assert np.allclose(result.model.transition.sum(axis=1), 1.0)
+        assert np.allclose(result.model.emission.sum(axis=1), 1.0)
+        assert np.isclose(result.model.initial.sum(), 1.0)
+
+    def test_converges_on_easy_data(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 400, rng).observations
+        result = baum_welch(
+            DiscreteHMM.random(2, 2, rng), [data], max_iterations=100, tol=1e-5
+        )
+        assert result.converged
+        assert result.iterations < 100
+
+    def test_multiple_sequences_supported(self, ground_truth, rng):
+        seqs = [
+            sample_sequence(ground_truth, 80, rng).observations
+            for _ in range(4)
+        ]
+        result = baum_welch(DiscreteHMM.random(2, 2, rng), seqs)
+        assert len(result.log_likelihoods) >= 1
+
+    def test_rejects_empty_sequence_list(self, rng):
+        with pytest.raises(ValueError):
+            baum_welch(DiscreteHMM.random(2, 2, rng), [])
+
+    def test_no_zero_probabilities_after_smoothing(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 100, rng).observations
+        result = baum_welch(DiscreteHMM.uniform(2, 2), [data])
+        assert np.all(result.model.emission > 0.0)
+        assert np.all(result.model.transition > 0.0)
+
+
+class TestFitRandomRestarts:
+    def test_best_of_restarts_at_least_as_good(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 200, rng).observations
+        single = baum_welch(
+            DiscreteHMM.random(2, 2, np.random.default_rng(0)), [data]
+        )
+        multi = fit_random_restarts(
+            2, 2, [data], np.random.default_rng(0), n_restarts=4
+        )
+        assert multi.log_likelihoods[-1] >= single.log_likelihoods[-1] - 1e-6
+
+    def test_recovers_emission_structure(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 800, rng).observations
+        result = fit_random_restarts(
+            2, 2, [data], np.random.default_rng(7), n_restarts=4,
+            max_iterations=80,
+        )
+        emission = result.model.emission
+        # Up to state relabelling, one state should emit mostly symbol 0
+        # and the other mostly symbol 1.
+        best = max(emission[0, 0] * emission[1, 1], emission[0, 1] * emission[1, 0])
+        assert best > 0.6
+
+    def test_rejects_zero_restarts(self, rng):
+        with pytest.raises(ValueError):
+            fit_random_restarts(2, 2, [[0, 1]], rng, n_restarts=0)

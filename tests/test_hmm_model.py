@@ -1,0 +1,108 @@
+"""Unit tests for repro.hmm.model (the DiscreteHMM container)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import DiscreteHMM
+
+
+def two_state_model() -> DiscreteHMM:
+    return DiscreteHMM(
+        transition=[[0.7, 0.3], [0.4, 0.6]],
+        emission=[[0.9, 0.1], [0.2, 0.8]],
+        initial=[0.6, 0.4],
+    )
+
+
+class TestConstruction:
+    def test_valid_model(self):
+        model = two_state_model()
+        assert model.n_states == 2
+        assert model.n_symbols == 2
+
+    def test_rejects_non_square_transition(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(
+                transition=[[0.5, 0.25, 0.25], [0.5, 0.25, 0.25]],
+                emission=[[1.0], [1.0]],
+                initial=[0.5, 0.5],
+            )
+
+    def test_rejects_state_count_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(
+                transition=np.eye(2),
+                emission=np.eye(3),
+                initial=[0.5, 0.5],
+            )
+
+    def test_rejects_initial_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(
+                transition=np.eye(2),
+                emission=np.eye(2),
+                initial=[1.0],
+            )
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(Exception):
+            DiscreteHMM(
+                transition=[[0.7, 0.7], [0.4, 0.6]],
+                emission=np.eye(2),
+                initial=[0.5, 0.5],
+            )
+
+    def test_rejects_wrong_name_lengths(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(
+                transition=np.eye(2),
+                emission=np.eye(2),
+                initial=[0.5, 0.5],
+                state_names=["only-one"],
+            )
+
+
+class TestFactories:
+    def test_uniform(self):
+        model = DiscreteHMM.uniform(3, 5)
+        assert np.allclose(model.transition, 1.0 / 3.0)
+        assert np.allclose(model.emission, 0.2)
+        assert np.allclose(model.initial, 1.0 / 3.0)
+
+    def test_random_is_stochastic(self, rng):
+        model = DiscreteHMM.random(4, 6, rng)
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert np.allclose(model.emission.sum(axis=1), 1.0)
+        assert np.isclose(model.initial.sum(), 1.0)
+
+    def test_random_is_seeded(self):
+        a = DiscreteHMM.random(3, 3, np.random.default_rng(1))
+        b = DiscreteHMM.random(3, 3, np.random.default_rng(1))
+        assert np.allclose(a.transition, b.transition)
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        model = two_state_model()
+        clone = model.copy()
+        clone.transition[0, 0] = 0.0
+        assert model.transition[0, 0] == 0.7
+
+
+class TestValidateObservations:
+    def test_accepts_valid(self):
+        model = two_state_model()
+        obs = model.validate_observations([0, 1, 1, 0])
+        assert obs.dtype == int
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            two_state_model().validate_observations([])
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            two_state_model().validate_observations([0, 2])
+
+    def test_rejects_negative_symbols(self):
+        with pytest.raises(ValueError):
+            two_state_model().validate_observations([0, -1])

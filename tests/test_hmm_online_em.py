@@ -1,0 +1,103 @@
+"""Tests for repro.hmm.online_em (general online HMM estimation, [10])."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import DiscreteHMM, OnlineEMEstimator, sample_sequence
+
+
+@pytest.fixture
+def ground_truth() -> DiscreteHMM:
+    """A sticky, well-separated two-state model."""
+    return DiscreteHMM(
+        transition=[[0.95, 0.05], [0.05, 0.95]],
+        emission=[[0.95, 0.05], [0.05, 0.95]],
+        initial=[0.5, 0.5],
+    )
+
+
+class TestConstruction:
+    def test_initial_model_is_stochastic(self):
+        estimator = OnlineEMEstimator(n_states=3, n_symbols=4)
+        model = estimator.current_model()
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert np.allclose(model.emission.sum(axis=1), 1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            OnlineEMEstimator(n_states=0, n_symbols=2)
+        with pytest.raises(ValueError):
+            OnlineEMEstimator(n_states=2, n_symbols=2, step_size=1.0)
+
+    def test_deterministic_given_seed(self):
+        a = OnlineEMEstimator(2, 2, seed=3)
+        b = OnlineEMEstimator(2, 2, seed=3)
+        for symbol in [0, 1, 1, 0, 1]:
+            a.observe(symbol)
+            b.observe(symbol)
+        assert np.allclose(a.current_model().emission, b.current_model().emission)
+
+
+class TestUpdates:
+    def test_model_stays_stochastic_under_any_stream(self, rng):
+        estimator = OnlineEMEstimator(3, 5, step_size=0.2)
+        for symbol in rng.integers(0, 5, size=500):
+            estimator.observe(int(symbol))
+        model = estimator.current_model()
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert np.allclose(model.emission.sum(axis=1), 1.0)
+        assert np.all(model.emission >= 0.0)
+
+    def test_filter_is_a_distribution(self, rng):
+        estimator = OnlineEMEstimator(4, 3)
+        for symbol in rng.integers(0, 3, size=100):
+            estimator.observe(int(symbol))
+        assert np.isclose(estimator.filter_distribution.sum(), 1.0)
+
+    def test_rejects_out_of_alphabet_symbol(self):
+        with pytest.raises(ValueError):
+            OnlineEMEstimator(2, 2).observe(5)
+
+    def test_update_counter(self):
+        estimator = OnlineEMEstimator(2, 2)
+        estimator.observe_sequence([0, 1, 0])
+        assert estimator.n_updates == 3
+
+
+class TestLearning:
+    def test_recovers_emission_separation(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 4000, rng).observations
+        estimator = OnlineEMEstimator(2, 2, step_size=0.03, seed=1)
+        estimator.observe_sequence(data)
+        emission = estimator.current_model().emission
+        # Up to relabelling, each state should specialise on one symbol.
+        separation = max(
+            emission[0, 0] * emission[1, 1], emission[0, 1] * emission[1, 0]
+        )
+        assert separation > 0.5
+
+    def test_recovers_stickiness(self, ground_truth, rng):
+        data = sample_sequence(ground_truth, 4000, rng).observations
+        estimator = OnlineEMEstimator(2, 2, step_size=0.03, seed=1)
+        estimator.observe_sequence(data)
+        transition = estimator.current_model().transition
+        # The chain is sticky: self-transitions should dominate.
+        assert transition[0, 0] > 0.6
+        assert transition[1, 1] > 0.6
+
+    def test_tracks_a_regime_switch(self, rng):
+        # Feed a long run of symbol 0 then a long run of symbol 1; the
+        # filtered state must move with the regime.
+        estimator = OnlineEMEstimator(2, 2, step_size=0.05, seed=2)
+        estimator.observe_sequence([0] * 400)
+        state_a = int(np.argmax(estimator.filter_distribution))
+        estimator.observe_sequence([1] * 400)
+        state_b = int(np.argmax(estimator.filter_distribution))
+        emission = estimator.current_model().emission
+        assert emission[state_b, 1] > 0.6
+        # Either the state switched or a single state re-specialised;
+        # in both cases symbol 1 must now be well explained.
+        likelihood_of_one = (
+            estimator.filter_distribution @ emission[:, 1]
+        )
+        assert likelihood_of_one > 0.6

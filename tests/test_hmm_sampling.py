@@ -1,0 +1,89 @@
+"""Unit tests for repro.hmm.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import (
+    DiscreteHMM,
+    empirical_emission,
+    sample_markov_chain,
+    sample_sequence,
+)
+
+
+class TestSampleSequence:
+    def test_shapes(self, rng):
+        model = DiscreteHMM.random(3, 5, rng)
+        sample = sample_sequence(model, 40, rng)
+        assert sample.states.shape == (40,)
+        assert sample.observations.shape == (40,)
+
+    def test_alphabet_bounds(self, rng):
+        model = DiscreteHMM.random(3, 5, rng)
+        sample = sample_sequence(model, 200, rng)
+        assert sample.states.min() >= 0 and sample.states.max() < 3
+        assert sample.observations.min() >= 0 and sample.observations.max() < 5
+
+    def test_deterministic_given_seed(self):
+        model = DiscreteHMM.random(3, 4, np.random.default_rng(5))
+        a = sample_sequence(model, 50, np.random.default_rng(9))
+        b = sample_sequence(model, 50, np.random.default_rng(9))
+        assert np.array_equal(a.observations, b.observations)
+
+    def test_rejects_nonpositive_length(self, rng):
+        model = DiscreteHMM.random(2, 2, rng)
+        with pytest.raises(ValueError):
+            sample_sequence(model, 0, rng)
+
+    def test_identity_emission_aligns_states_and_obs(self, rng):
+        model = DiscreteHMM(
+            transition=np.full((3, 3), 1.0 / 3.0),
+            emission=np.eye(3),
+            initial=np.full(3, 1.0 / 3.0),
+        )
+        sample = sample_sequence(model, 100, rng)
+        assert np.array_equal(sample.states, sample.observations)
+
+    def test_empirical_frequencies_approach_model(self, rng):
+        model = DiscreteHMM(
+            transition=[[0.5, 0.5], [0.5, 0.5]],
+            emission=[[0.9, 0.1], [0.1, 0.9]],
+            initial=[0.5, 0.5],
+        )
+        sample = sample_sequence(model, 5000, rng)
+        estimate = empirical_emission(sample.states, sample.observations, 2, 2)
+        assert np.allclose(estimate, model.emission, atol=0.05)
+
+
+class TestSampleMarkovChain:
+    def test_respects_absorbing_state(self, rng):
+        transition = [[0.0, 1.0], [0.0, 1.0]]
+        path = sample_markov_chain(transition, [1.0, 0.0], 10, rng)
+        assert path[0] == 0
+        assert np.all(path[1:] == 1)
+
+    def test_rejects_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            sample_markov_chain(np.eye(3), [0.5, 0.5], 5, rng)
+
+    def test_rejects_nonpositive_length(self, rng):
+        with pytest.raises(ValueError):
+            sample_markov_chain(np.eye(2), [1.0, 0.0], 0, rng)
+
+
+class TestEmpiricalEmission:
+    def test_rows_are_stochastic(self, rng):
+        states = rng.integers(0, 3, size=100)
+        obs = rng.integers(0, 4, size=100)
+        estimate = empirical_emission(states, obs, 3, 4)
+        assert np.allclose(estimate.sum(axis=1), 1.0)
+
+    def test_unvisited_state_is_uniform(self):
+        estimate = empirical_emission(
+            np.array([0, 0]), np.array([1, 1]), n_states=2, n_symbols=2
+        )
+        assert np.allclose(estimate[1], 0.5)
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            empirical_emission(np.array([0]), np.array([0, 1]), 2, 2)

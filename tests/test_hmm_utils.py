@@ -1,0 +1,140 @@
+"""Unit tests for repro.hmm.utils (stochastic-matrix helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.utils import (
+    StochasticityError,
+    as_prob_vector,
+    as_stochastic_matrix,
+    is_row_stochastic,
+    normalize_rows,
+    normalize_vector,
+    random_prob_vector,
+    random_stochastic_matrix,
+    stationary_distribution,
+    uniform_stochastic_matrix,
+)
+
+
+class TestAsProbVector:
+    def test_accepts_valid_vector(self):
+        vec = as_prob_vector([0.2, 0.3, 0.5])
+        assert vec.shape == (3,)
+        assert np.isclose(vec.sum(), 1.0)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(StochasticityError):
+            as_prob_vector([0.5, -0.1, 0.6])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(StochasticityError):
+            as_prob_vector([0.2, 0.2])
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(StochasticityError):
+            as_prob_vector([[0.5, 0.5]])
+
+    def test_clips_tiny_negative_noise(self):
+        vec = as_prob_vector([1.0 + 1e-12, -1e-12])
+        assert np.all(vec >= 0.0)
+
+
+class TestAsStochasticMatrix:
+    def test_accepts_identity(self):
+        mat = as_stochastic_matrix(np.eye(3))
+        assert mat.shape == (3, 3)
+
+    def test_rejects_bad_row_sum(self):
+        bad = np.array([[0.5, 0.5], [0.9, 0.2]])
+        with pytest.raises(StochasticityError):
+            as_stochastic_matrix(bad)
+
+    def test_rejects_negative(self):
+        bad = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(StochasticityError):
+            as_stochastic_matrix(bad)
+
+    def test_rejects_1d(self):
+        with pytest.raises(StochasticityError):
+            as_stochastic_matrix([0.5, 0.5])
+
+    def test_error_names_offending_row(self):
+        bad = np.array([[1.0, 0.0], [0.3, 0.3]])
+        with pytest.raises(StochasticityError, match="row 1"):
+            as_stochastic_matrix(bad)
+
+
+class TestNormalize:
+    def test_normalize_rows_unit_sums(self):
+        mat = normalize_rows(np.array([[2.0, 2.0], [1.0, 3.0]]))
+        assert np.allclose(mat.sum(axis=1), 1.0)
+
+    def test_normalize_rows_zero_row_becomes_uniform(self):
+        mat = normalize_rows(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert np.allclose(mat[0], [0.5, 0.5])
+
+    def test_normalize_rows_does_not_mutate_input(self):
+        original = np.array([[2.0, 2.0]])
+        normalize_rows(original)
+        assert np.allclose(original, [[2.0, 2.0]])
+
+    def test_normalize_vector(self):
+        vec = normalize_vector(np.array([1.0, 3.0]))
+        assert np.allclose(vec, [0.25, 0.75])
+
+    def test_normalize_zero_vector_uniform(self):
+        vec = normalize_vector(np.zeros(4))
+        assert np.allclose(vec, 0.25)
+
+
+class TestRandomMatrices:
+    def test_random_stochastic_matrix_is_stochastic(self, rng):
+        mat = random_stochastic_matrix(5, 7, rng)
+        assert mat.shape == (5, 7)
+        assert is_row_stochastic(mat)
+
+    def test_random_prob_vector_sums_to_one(self, rng):
+        vec = random_prob_vector(9, rng)
+        assert np.isclose(vec.sum(), 1.0)
+
+    def test_uniform_matrix(self):
+        mat = uniform_stochastic_matrix(3, 4)
+        assert np.allclose(mat, 0.25)
+
+    def test_rejects_nonpositive_dims(self, rng):
+        with pytest.raises(ValueError):
+            random_stochastic_matrix(0, 3, rng)
+        with pytest.raises(ValueError):
+            random_prob_vector(0, rng)
+        with pytest.raises(ValueError):
+            uniform_stochastic_matrix(3, 0)
+
+
+class TestIsRowStochastic:
+    def test_true_for_identity(self):
+        assert is_row_stochastic(np.eye(4))
+
+    def test_false_for_negative(self):
+        assert not is_row_stochastic(np.array([[1.5, -0.5]]))
+
+    def test_false_for_vector(self):
+        assert not is_row_stochastic(np.array([0.5, 0.5]))
+
+
+class TestStationaryDistribution:
+    def test_uniform_chain(self):
+        transition = np.full((3, 3), 1.0 / 3.0)
+        pi = stationary_distribution(transition)
+        assert np.allclose(pi, 1.0 / 3.0)
+
+    def test_two_state_chain(self):
+        # Detailed balance: pi_0 * 0.2 = pi_1 * 0.4 -> pi = (2/3, 1/3).
+        transition = np.array([[0.8, 0.2], [0.4, 0.6]])
+        pi = stationary_distribution(transition)
+        assert np.allclose(pi, [2.0 / 3.0, 1.0 / 3.0], atol=1e-8)
+
+    def test_stationary_is_fixed_point(self, rng):
+        transition = random_stochastic_matrix(5, 5, rng)
+        pi = stationary_distribution(transition)
+        assert np.allclose(pi @ transition, pi, atol=1e-8)

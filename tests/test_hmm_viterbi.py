@@ -1,0 +1,85 @@
+"""Unit tests for repro.hmm.viterbi."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hmm import DiscreteHMM, decode, viterbi
+
+
+def brute_force_best_path(model: DiscreteHMM, obs):
+    """Enumerate all paths; return (best path, best log prob)."""
+    best_path, best_logp = None, -np.inf
+    for path in itertools.product(range(model.n_states), repeat=len(obs)):
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        if p > 0 and np.log(p) > best_logp:
+            best_logp = np.log(p)
+            best_path = path
+    return best_path, best_logp
+
+
+class TestViterbi:
+    def test_matches_brute_force_logprob(self, rng):
+        model = DiscreteHMM.random(3, 3, rng)
+        for _ in range(5):
+            obs = list(rng.integers(0, 3, size=6))
+            result = viterbi(model, obs)
+            _, expected_logp = brute_force_best_path(model, obs)
+            assert np.isclose(result.log_probability, expected_logp, atol=1e-10)
+
+    def test_returned_path_achieves_best_score(self, rng):
+        # Ties may pick a different path than enumeration; the returned
+        # path must still score exactly the best achievable log prob.
+        model = DiscreteHMM.random(2, 2, rng)
+        obs = list(rng.integers(0, 2, size=8))
+        result = viterbi(model, obs)
+        path = result.path
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        _, best_logp = brute_force_best_path(model, obs)
+        assert np.isclose(np.log(p), best_logp, atol=1e-10)
+
+    def test_identity_emission_decodes_observations(self):
+        model = DiscreteHMM(
+            transition=np.full((3, 3), 1.0 / 3.0),
+            emission=np.eye(3),
+            initial=np.full(3, 1.0 / 3.0),
+        )
+        obs = [2, 0, 1, 1, 2]
+        assert list(decode(model, obs)) == obs
+
+    def test_impossible_sequence_has_neg_inf_score(self):
+        model = DiscreteHMM(
+            transition=np.eye(2),
+            emission=[[1.0, 0.0], [1.0, 0.0]],
+            initial=[1.0, 0.0],
+        )
+        result = viterbi(model, [1, 1])
+        assert result.log_probability == -np.inf
+
+    def test_path_length_matches_observations(self, rng):
+        model = DiscreteHMM.random(4, 5, rng)
+        obs = rng.integers(0, 5, size=17)
+        assert viterbi(model, obs).path.shape == (17,)
+
+    def test_rejects_empty_sequence(self, rng):
+        model = DiscreteHMM.random(2, 2, rng)
+        with pytest.raises(ValueError):
+            viterbi(model, [])
+
+    def test_sticky_chain_prefers_staying(self):
+        # Sticky transitions + slightly ambiguous emissions: the best
+        # explanation of a one-off deviant symbol keeps the state.
+        model = DiscreteHMM(
+            transition=[[0.95, 0.05], [0.05, 0.95]],
+            emission=[[0.7, 0.3], [0.3, 0.7]],
+            initial=[0.5, 0.5],
+        )
+        path = decode(model, [0, 0, 1, 0, 0])
+        assert list(path) == [0, 0, 0, 0, 0]

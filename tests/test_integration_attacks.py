@@ -1,0 +1,133 @@
+"""End-to-end attack scenarios: the §4.2 reproduction assertions."""
+
+import numpy as np
+import pytest
+
+from repro.core.classification import AnomalyCategory, AnomalyType
+from repro.core.orthogonality import analyze_orthogonality
+
+
+def b_co(run):
+    pipeline = run.pipeline
+    min_visits = pipeline.config.classifier.min_state_visits
+    return pipeline.m_co.emission_matrix(
+        min_state_visits=min_visits, min_symbol_visits=min_visits
+    )
+
+
+class TestDynamicDeletion:
+    def test_system_verdict(self, deletion_run):
+        assert (
+            deletion_run.pipeline.system_diagnosis().anomaly_type
+            is AnomalyType.DYNAMIC_DELETION
+        )
+
+    def test_rows_non_orthogonal_columns_orthogonal(self, deletion_run):
+        report = analyze_orthogonality(b_co(deletion_run).denoised(0.2))
+        assert not report.rows_orthogonal
+        assert report.max_row_cross > 0.7  # near-total collapse
+
+    def test_compromised_sensors_all_tracked(self, deletion_run):
+        compromised = set(deletion_run.campaign.malicious_sensor_ids())
+        tracked = {t.sensor_id for t in deletion_run.pipeline.tracks.tracks}
+        assert compromised <= tracked
+
+    def test_per_sensor_diagnosis_is_deletion(self, deletion_run):
+        for sensor_id in deletion_run.campaign.malicious_sensor_ids():
+            diagnosis = deletion_run.pipeline.diagnose_sensor(sensor_id)
+            assert diagnosis is not None
+            assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_DELETION
+            assert diagnosis.category is AnomalyCategory.ATTACK
+
+    def test_deleted_state_absent_from_observables(self, deletion_run):
+        diagnosis = deletion_run.pipeline.system_diagnosis()
+        pairs = diagnosis.evidence.get("deletion_pairs", ())
+        assert pairs
+        deleted_state, surviving_state = pairs[0]
+        vectors = deletion_run.pipeline.state_vectors()
+        # The deleted state is the hottest; the surviving one is milder.
+        assert vectors[deleted_state][0] > vectors[surviving_state][0]
+
+
+class TestDynamicCreation:
+    def test_system_verdict(self, creation_run):
+        assert (
+            creation_run.pipeline.system_diagnosis().anomaly_type
+            is AnomalyType.DYNAMIC_CREATION
+        )
+
+    def test_created_state_is_spurious_symbol(self, creation_run):
+        emission = b_co(creation_run)
+        diagnosis = creation_run.pipeline.system_diagnosis()
+        pairs = diagnosis.evidence.get("creation_pairs", ())
+        assert pairs
+        _, created_symbol = pairs[0]
+        assert created_symbol not in emission.state_ids  # never correct
+
+    def test_row_splits_like_paper_table7(self, creation_run):
+        # Paper Table 7: row (12,95) splits 0.35/0.65 between its own
+        # symbol and the created one.
+        emission = b_co(creation_run).denoised(0.1)
+        diagnosis = creation_run.pipeline.system_diagnosis()
+        source, created = diagnosis.evidence["creation_pairs"][0]
+        row = emission.row_of(source)
+        symbols = {s: k for k, s in enumerate(emission.symbol_ids)}
+        own = row[symbols[source]]
+        spurious = row[symbols[created]]
+        assert own > 0.15 and spurious > 0.15
+        assert own + spurious > 0.8
+
+    def test_per_sensor_diagnosis_is_creation(self, creation_run):
+        for sensor_id in creation_run.campaign.malicious_sensor_ids():
+            diagnosis = creation_run.pipeline.diagnose_sensor(sensor_id)
+            assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_CREATION
+
+
+class TestDynamicChange:
+    def test_system_verdict(self, change_run):
+        assert (
+            change_run.pipeline.system_diagnosis().anomaly_type
+            is AnomalyType.DYNAMIC_CHANGE
+        )
+
+    def test_changed_pairs_displaced_in_all_attributes(self, change_run):
+        diagnosis = change_run.pipeline.system_diagnosis()
+        vectors = change_run.pipeline.state_vectors()
+        changed = diagnosis.evidence.get("changed_pairs", ())
+        assert changed
+        for state_id, symbol_id in changed:
+            displacement = np.abs(vectors[state_id] - vectors[symbol_id])
+            assert np.all(displacement >= 2.0)
+
+    def test_b_co_stays_orthogonal(self, change_run):
+        # The paper: a change attack "does not affect the orthogonality
+        # of rows and columns of B^CO".
+        report = analyze_orthogonality(b_co(change_run).denoised(0.2))
+        assert report.rows_orthogonal
+
+
+class TestMixedAttack:
+    def test_system_verdict(self, mixed_run):
+        assert (
+            mixed_run.pipeline.system_diagnosis().anomaly_type
+            is AnomalyType.MIXED
+        )
+
+    def test_both_structures_present(self, mixed_run):
+        diagnosis = mixed_run.pipeline.system_diagnosis()
+        assert diagnosis.evidence.get("creation_pairs")
+        assert diagnosis.evidence.get("deletion_pairs")
+
+
+class TestAttackerStealthiness:
+    def test_all_malicious_values_in_admissible_range(self, deletion_run):
+        # §4.2: injected values stay within physical ranges, so range
+        # checking cannot catch them.
+        for record in deletion_run.trace.records:
+            assert -10.0 <= record.attributes[0] <= 60.0
+            assert 0.0 <= record.attributes[1] <= 100.0
+
+    def test_creation_values_in_admissible_range(self, creation_run):
+        for record in creation_run.trace.records:
+            assert -10.0 <= record.attributes[0] <= 60.0
+            assert 0.0 <= record.attributes[1] <= 100.0

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the load-bearing mathematical guarantees:
+
+* the §3.2 online updates keep A and B row-stochastic for *any* input
+  stream (the paper proves this; we check it mechanically),
+* the online clusterer's structural operations preserve id resolution
+  and state-count bounds,
+* the alarm filters are pure functions of their input streams,
+* forward/backward likelihoods are consistent under scaling.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import OnlineStateClusterer
+from repro.core.filtering import CUSUMFilter, KOfNFilter, SPRTFilter
+from repro.core.markov import estimate_markov_model
+from repro.core.online_hmm import OnlineHMM
+from repro.core.orthogonality import analyze_orthogonality
+from repro.hmm import DiscreteHMM, forward_backward, log_likelihood
+from repro.hmm.utils import normalize_rows
+
+# -- strategies -------------------------------------------------------------
+
+state_symbol_streams = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(-1, 8)), min_size=1, max_size=60
+)
+
+observation_batches = st.lists(
+    st.lists(
+        st.tuples(
+            st.floats(-20.0, 60.0, allow_nan=False),
+            st.floats(0.0, 100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+boolean_streams = st.lists(st.booleans(), min_size=1, max_size=80)
+
+
+# -- online HMM invariants ---------------------------------------------------
+
+
+class TestOnlineHMMProperties:
+    @given(stream=state_symbol_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_matrices_stay_row_stochastic(self, stream):
+        hmm = OnlineHMM(transition_innovation=0.1, emission_innovation=0.1)
+        for state, symbol in stream:
+            hmm.observe(state, symbol)
+        assert hmm.is_row_stochastic()
+
+    @given(stream=state_symbol_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_matrices_stay_non_negative(self, stream):
+        hmm = OnlineHMM(transition_innovation=0.3, emission_innovation=0.7)
+        for state, symbol in stream:
+            hmm.observe(state, symbol)
+        emission = hmm.emission_matrix()
+        assert np.all(emission.matrix >= -1e-12)
+
+    @given(stream=state_symbol_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_visit_counts_total_updates(self, stream):
+        hmm = OnlineHMM()
+        for state, symbol in stream:
+            hmm.observe(state, symbol)
+        total = sum(hmm.state_visits(s) for s in hmm.state_ids)
+        assert total == len(stream) == hmm.n_updates
+
+    @given(stream=state_symbol_streams, floor=st.floats(0.0, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_denoised_snapshot_remains_stochastic(self, stream, floor):
+        hmm = OnlineHMM()
+        for state, symbol in stream:
+            hmm.observe(state, symbol)
+        snapshot = hmm.emission_matrix().denoised(floor)
+        if snapshot.matrix.size:
+            assert np.allclose(snapshot.matrix.sum(axis=1), 1.0)
+
+    @given(stream=state_symbol_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_orthogonality_report_bounds(self, stream):
+        hmm = OnlineHMM()
+        for state, symbol in stream:
+            hmm.observe(state, symbol)
+        report = analyze_orthogonality(hmm.emission_matrix())
+        assert 0.0 <= report.max_row_cross <= 1.0 + 1e-9
+        assert 0.0 <= report.min_row_self <= 1.0 + 1e-9
+
+
+# -- clusterer invariants -----------------------------------------------------
+
+
+class TestClustererProperties:
+    @given(batches=observation_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_state_count_bounded_and_ids_resolve(self, batches):
+        clusterer = OnlineStateClusterer(
+            initial_vectors=[np.array([20.0, 70.0])],
+            alpha=0.2,
+            spawn_threshold=10.0,
+            merge_threshold=5.0,
+            max_states=12,
+        )
+        issued = set()
+        for batch in batches:
+            update = clusterer.update(np.asarray(batch))
+            issued.update(update.assignments)
+            issued.update(update.spawned)
+        assert clusterer.n_states <= 12
+        for state_id in issued:
+            resolved = clusterer.resolve(state_id)
+            clusterer.state_vector(resolved)  # must not raise
+
+    @given(batches=observation_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_assignments_reference_live_states(self, batches):
+        clusterer = OnlineStateClusterer(
+            initial_vectors=[np.array([20.0, 70.0])],
+            alpha=0.2,
+            spawn_threshold=10.0,
+            merge_threshold=5.0,
+        )
+        for batch in batches:
+            update = clusterer.update(np.asarray(batch))
+            live = set(clusterer.states.state_ids)
+            assert set(update.assignments) <= live
+
+    @given(
+        point=st.tuples(
+            st.floats(-20.0, 60.0, allow_nan=False),
+            st.floats(0.0, 100.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assign_returns_nearest(self, point):
+        clusterer = OnlineStateClusterer(
+            initial_vectors=[
+                np.array([10.0, 90.0]),
+                np.array([30.0, 50.0]),
+            ],
+            alpha=0.1,
+            spawn_threshold=100.0,
+            merge_threshold=1.0,
+        )
+        chosen = clusterer.assign(np.asarray(point))
+        distances = {
+            s: float(np.linalg.norm(clusterer.state_vector(s) - np.asarray(point)))
+            for s in clusterer.states.state_ids
+        }
+        assert distances[chosen] == min(distances.values())
+
+
+# -- filter invariants ---------------------------------------------------------
+
+
+class TestFilterProperties:
+    @given(stream=boolean_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_filters_deterministic(self, stream):
+        for factory in (
+            lambda: KOfNFilter(k=3, n=5),
+            lambda: SPRTFilter(),
+            lambda: CUSUMFilter(),
+        ):
+            a, b = factory(), factory()
+            out_a = [a.update(x) for x in stream]
+            out_b = [b.update(x) for x in stream]
+            assert out_a == out_b
+
+    @given(stream=boolean_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_all_quiet_stream_never_alarms(self, stream):
+        quiet = [False] * len(stream)
+        for factory in (
+            lambda: KOfNFilter(k=3, n=5),
+            lambda: SPRTFilter(),
+            lambda: CUSUMFilter(),
+        ):
+            filt = factory()
+            assert not any(filt.update(x) for x in quiet)
+
+    @given(n_true=st.integers(3, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_k_of_n_fires_within_k_alarms(self, n_true):
+        filt = KOfNFilter(k=3, n=5)
+        outputs = [filt.update(True) for _ in range(n_true)]
+        assert outputs[2]  # the third consecutive raw alarm trips it
+
+
+# -- markov estimation invariants ---------------------------------------------
+
+
+class TestMarkovProperties:
+    @given(sequence=st.lists(st.integers(0, 5), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_transition_rows_stochastic(self, sequence):
+        model = estimate_markov_model(sequence)
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert sum(model.visit_counts) == len(sequence)
+
+    @given(
+        sequence=st.lists(st.integers(0, 5), min_size=2, max_size=80),
+        fraction=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_never_empties(self, sequence, fraction):
+        pruned = estimate_markov_model(sequence).prune(fraction)
+        assert pruned.n_states >= 1
+        assert np.allclose(pruned.transition.sum(axis=1), 1.0)
+
+
+# -- classic HMM invariants ------------------------------------------------------
+
+
+class TestHMMProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        length=st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_likelihood_consistency(self, seed, length):
+        rng = np.random.default_rng(seed)
+        model = DiscreteHMM.random(3, 4, rng)
+        obs = rng.integers(0, 4, size=length)
+        direct = log_likelihood(model, obs)
+        via_fb = forward_backward(model, obs).log_likelihood
+        assert np.isclose(direct, via_fb, atol=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_normalize_rows_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((4, 5))
+        once = normalize_rows(matrix)
+        twice = normalize_rows(once)
+        assert np.allclose(once, twice)

@@ -1,0 +1,109 @@
+"""Public-API stability tests.
+
+Downstream users import through the package ``__init__`` modules; these
+tests pin that surface: every ``__all__`` name resolves, the version is
+sane, and the headline entry points keep their signatures.
+"""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.clusters
+import repro.core
+import repro.experiments
+import repro.faults
+import repro.hmm
+import repro.sensornet
+import repro.traces
+
+PACKAGES = [
+    repro,
+    repro.analysis,
+    repro.baselines,
+    repro.clusters,
+    repro.core,
+    repro.experiments,
+    repro.faults,
+    repro.hmm,
+    repro.sensornet,
+    repro.traces,
+]
+
+
+class TestAllNamesResolve:
+    @pytest.mark.parametrize(
+        "package", PACKAGES, ids=lambda p: p.__name__
+    )
+    def test_every_all_entry_exists(self, package):
+        assert hasattr(package, "__all__"), package.__name__
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package.__name__}.{name}"
+
+    @pytest.mark.parametrize(
+        "package", PACKAGES, ids=lambda p: p.__name__
+    )
+    def test_all_is_sorted(self, package):
+        names = list(package.__all__)
+        assert names == sorted(names), package.__name__
+
+
+class TestVersion:
+    def test_version_matches_pyproject_style(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestHeadlineSignatures:
+    def test_detection_pipeline_signature(self):
+        signature = inspect.signature(repro.DetectionPipeline.__init__)
+        assert list(signature.parameters) == ["self", "config", "initial_states"]
+
+    def test_process_window_takes_one_window(self):
+        signature = inspect.signature(
+            repro.DetectionPipeline.process_window
+        )
+        assert list(signature.parameters) == ["self", "window"]
+
+    def test_pipeline_config_table1_fields(self):
+        config = repro.PipelineConfig()
+        for field_name in (
+            "n_sensors",
+            "n_initial_states",
+            "window_samples",
+            "alpha",
+            "beta",
+            "gamma",
+        ):
+            assert hasattr(config, field_name)
+
+    def test_anomaly_taxonomy_is_complete(self):
+        values = {t.value for t in repro.AnomalyType}
+        assert {
+            "stuck_at",
+            "calibration",
+            "additive",
+            "random_noise",
+            "creation",
+            "deletion",
+            "change",
+            "mixed",
+        } <= values
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "package", PACKAGES, ids=lambda p: p.__name__
+    )
+    def test_packages_documented(self, package):
+        assert package.__doc__ and len(package.__doc__.strip()) > 20
+
+    def test_public_core_classes_documented(self):
+        for name in repro.core.__all__:
+            obj = getattr(repro.core, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"repro.core.{name} lacks a docstring"

@@ -1,0 +1,234 @@
+"""Robustness and failure-injection tests.
+
+These exercise the conditions a real deployment throws at the pipeline:
+heavy packet loss, dying motes, total outages (empty windows), silent
+sensors, and *concurrent* anomalies — including the documented
+limitation that a system-level attack verdict dominates the diagnosis
+of concurrently faulty sensors (the Fig. 5 flow checks attacks first).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DetectionPipeline, PipelineConfig
+from repro.core.classification import AnomalyType
+from repro.faults import (
+    ActivationSchedule,
+    AdditiveFault,
+    CampaignSpec,
+    DynamicDeletionAttack,
+    PacketDropper,
+    StuckAtFault,
+)
+from repro.sensornet import (
+    BatteryModel,
+    CollectorNode,
+    GDIDiurnalEnvironment,
+    Mote,
+    NetworkSimulator,
+    StarNetwork,
+)
+from repro.traces import (
+    GDITraceConfig,
+    build_environment,
+    generate_gdi_trace,
+    window_trace_by_samples,
+)
+
+ONSET = ActivationSchedule(start_minutes=2 * 24 * 60.0)
+
+
+def run_trace(trace, config=None):
+    config = config or PipelineConfig()
+    pipeline = DetectionPipeline(config)
+    for window in window_trace_by_samples(trace, config.window_samples):
+        pipeline.process_window(window)
+    return pipeline
+
+
+class TestHeavyPacketLoss:
+    def test_clean_run_survives_fifty_percent_loss(self):
+        trace = generate_gdi_trace(
+            GDITraceConfig(n_days=7, loss_probability=0.5, seed=11)
+        )
+        pipeline = run_trace(trace)
+        assert pipeline.tracks.n_tracks <= 1  # at most one spurious track
+        assert (
+            pipeline.system_diagnosis().anomaly_type is AnomalyType.NONE
+        )
+
+    def test_stuck_sensor_still_detected_under_loss(self):
+        cfg = GDITraceConfig(n_days=10, loss_probability=0.4, seed=11)
+        campaign = CampaignSpec().plant(
+            StuckAtFault(value=(15.0, 1.0)), [6], ONSET
+        )
+        trace = generate_gdi_trace(
+            cfg, corruption=campaign.build_injector(build_environment(cfg))
+        )
+        pipeline = run_trace(trace)
+        assert 6 in {t.sensor_id for t in pipeline.tracks.tracks}
+
+
+class TestDyingMotes:
+    def test_battery_death_shrinks_population_gracefully(self):
+        env = GDIDiurnalEnvironment(n_days=5, seed=3)
+        motes = []
+        for i in range(8):
+            battery = None
+            if i < 2:  # two motes die about half-way through
+                battery = BatteryModel(
+                    initial_charge=1.0,
+                    drain_per_sample=1.0 / (2.5 * 288),
+                    shutdown_threshold=0.01,
+                )
+            motes.append(
+                Mote(sensor_id=i, environment=env, noise_std=0.35,
+                     battery=battery, seed=3)
+            )
+        config = PipelineConfig()
+        pipeline = DetectionPipeline(config)
+        collector = CollectorNode(window_minutes=config.window_minutes)
+        simulator = NetworkSimulator(
+            environment=env, motes=motes, collector=collector,
+            network=StarNetwork.homogeneous(range(8), seed=3),
+        )
+        simulator.run(5 * 24 * 60.0, on_window=pipeline.process_window)
+        # Dead motes simply stop reporting; no diagnosis is invented for
+        # them (silent death is an arrival-rate problem, out of the
+        # paper's §3.3 scope).
+        diagnoses = pipeline.diagnose_all()
+        assert all(
+            d.anomaly_type in (AnomalyType.NONE, AnomalyType.UNKNOWN_ERROR)
+            for d in diagnoses.values()
+        )
+
+
+class TestOutages:
+    def test_total_outage_produces_skipped_windows(self):
+        trace = generate_gdi_trace(GDITraceConfig(n_days=4, seed=5))
+        # Drop everything in day 2: a base-station outage.
+        kept = [
+            r for r in trace.records
+            if not (1 * 1440.0 <= r.timestamp < 2 * 1440.0)
+        ]
+        trace.records = kept
+        pipeline = run_trace(trace)
+        skipped = [r for r in pipeline.results if r.skipped]
+        assert len(skipped) == 24
+        assert pipeline.system_diagnosis().anomaly_type is AnomalyType.NONE
+
+    def test_pipeline_resumes_after_outage(self):
+        trace = generate_gdi_trace(GDITraceConfig(n_days=4, seed=5))
+        trace.records = [
+            r for r in trace.records
+            if not (1 * 1440.0 <= r.timestamp < 2 * 1440.0)
+        ]
+        pipeline = run_trace(trace)
+        processed = [r for r in pipeline.results if not r.skipped]
+        assert len(processed) == 3 * 24
+        assert pipeline.correct_model().n_states >= 3
+
+
+class TestSilentSensor:
+    def test_suppressed_sensor_never_alarmed(self):
+        cfg = GDITraceConfig(n_days=5, seed=7)
+        env = build_environment(cfg)
+
+        def mute_sensor_3(message):
+            return None if message.sensor_id == 3 else message
+
+        trace = generate_gdi_trace(cfg, corruption=mute_sensor_3)
+        pipeline = run_trace(trace)
+        assert 3 not in pipeline.alarm_generator.sensors_seen()
+        assert 3 not in {t.sensor_id for t in pipeline.tracks.tracks}
+
+
+class TestConcurrentAnomalies:
+    @pytest.fixture(scope="class")
+    def fault_plus_attack(self):
+        cfg = GDITraceConfig(n_days=14)
+        env = build_environment(cfg)
+        campaign = CampaignSpec()
+        campaign.plant(
+            PacketDropper(StuckAtFault(value=(15.0, 1.0)), drop_probability=0.5),
+            [6],
+            ONSET,
+        )
+        campaign.plant(
+            DynamicDeletionAttack(
+                deleted_state=(31.0, 57.0),
+                hold_state=(23.0, 72.0),
+                radius=10.0,
+                fraction=0.3,
+            ),
+            [1, 2, 3],
+        )
+        trace = generate_gdi_trace(cfg, corruption=campaign.build_injector(env))
+        return run_trace(trace), campaign
+
+    def test_attack_detected_at_system_level(self, fault_plus_attack):
+        pipeline, _ = fault_plus_attack
+        assert (
+            pipeline.system_diagnosis().anomaly_type
+            is AnomalyType.DYNAMIC_DELETION
+        )
+
+    def test_all_anomalous_sensors_tracked(self, fault_plus_attack):
+        pipeline, _ = fault_plus_attack
+        tracked = {t.sensor_id for t in pipeline.tracks.tracks}
+        assert {1, 2, 3, 6} <= tracked
+
+    def test_attack_verdict_dominates_concurrent_fault(self, fault_plus_attack):
+        # Documented limitation (Fig. 5 checks the attack branch first):
+        # with a live system-level attack, the concurrently stuck sensor
+        # is attributed to the attack too.
+        pipeline, _ = fault_plus_attack
+        diagnosis = pipeline.diagnose_sensor(6)
+        assert diagnosis is not None
+        assert diagnosis.anomaly_type is AnomalyType.DYNAMIC_DELETION
+
+    def test_two_concurrent_faults(self):
+        cfg = GDITraceConfig(n_days=14)
+        env = build_environment(cfg)
+        campaign = CampaignSpec()
+        campaign.plant(
+            PacketDropper(StuckAtFault(value=(15.0, 1.0)), drop_probability=0.5),
+            [6],
+            ONSET,
+        )
+        campaign.plant(AdditiveFault(offsets=(6.0, 12.0)), [3], ONSET)
+        trace = generate_gdi_trace(cfg, corruption=campaign.build_injector(env))
+        pipeline = run_trace(trace)
+        # The stuck sensor classifies cleanly even with a second faulty
+        # sensor present; the additive one may degrade to unknown under
+        # the perturbed state set (documented partial result).
+        assert pipeline.diagnose_sensor(6).anomaly_type is AnomalyType.STUCK_AT
+        d3 = pipeline.diagnose_sensor(3)
+        assert d3 is not None
+        assert d3.anomaly_type in (
+            AnomalyType.ADDITIVE,
+            AnomalyType.UNKNOWN_ERROR,
+        )
+        assert (
+            pipeline.system_diagnosis().anomaly_type is AnomalyType.NONE
+        )
+
+
+class TestRecovery:
+    def test_healed_fault_closes_track_and_still_classifies(self):
+        cfg = GDITraceConfig(n_days=12, seed=9)
+        env = build_environment(cfg)
+        campaign = CampaignSpec().plant(
+            PacketDropper(StuckAtFault(value=(15.0, 1.0)), drop_probability=0.5),
+            [6],
+            ActivationSchedule(
+                start_minutes=2 * 24 * 60.0, end_minutes=7 * 24 * 60.0
+            ),
+        )
+        trace = generate_gdi_trace(cfg, corruption=campaign.build_injector(env))
+        pipeline = run_trace(trace)
+        track = pipeline.track_for(6)
+        assert track is not None
+        assert not track.is_open  # the alarm cleared after healing
+        diagnosis = pipeline.diagnose_sensor(6)
+        assert diagnosis.anomaly_type is AnomalyType.STUCK_AT

@@ -1,0 +1,64 @@
+"""Seed-robustness: the headline classifications hold across seeds.
+
+The reproduction must not be overfitted to the default seed (2003).
+Each canonical scenario is re-run with different workload seeds and the
+classification outcome asserted; deployments differ (different weather
+fronts, different packet-loss patterns, different compromised subsets)
+but the structural signatures must persist.
+"""
+
+import pytest
+
+from repro.core.classification import AnomalyType
+from repro.experiments import (
+    deletion_scenario,
+    stuck_at_scenario,
+)
+
+SEEDS = (101, 777, 31337)
+
+
+class TestStuckAtAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_stuck_sensor_classified(self, seed):
+        run = stuck_at_scenario(n_days=12, seed=seed)
+        diagnosis = run.pipeline.diagnose_sensor(6)
+        assert diagnosis is not None, f"seed {seed}: sensor never tracked"
+        assert diagnosis.anomaly_type is AnomalyType.STUCK_AT, (
+            f"seed {seed}: got {diagnosis.anomaly_type}"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_attack_misattribution(self, seed):
+        run = stuck_at_scenario(n_days=12, seed=seed)
+        verdict = run.pipeline.system_diagnosis().anomaly_type
+        assert verdict is AnomalyType.NONE, f"seed {seed}: got {verdict}"
+
+
+class TestDeletionAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_attack_classified(self, seed):
+        run = deletion_scenario(n_days=14, seed=seed)
+        verdict = run.pipeline.system_diagnosis().anomaly_type
+        assert verdict is AnomalyType.DYNAMIC_DELETION, (
+            f"seed {seed}: got {verdict}"
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compromised_sensors_tracked(self, seed):
+        run = deletion_scenario(n_days=14, seed=seed)
+        truth = set(run.campaign.malicious_sensor_ids())
+        tracked = {t.sensor_id for t in run.pipeline.tracks.tracks}
+        assert truth <= tracked, f"seed {seed}: missed {truth - tracked}"
+
+
+class TestCleanAcrossSeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_deployment_stays_clean(self, seed):
+        from repro.experiments import clean_scenario
+
+        run = clean_scenario(n_days=10, seed=seed)
+        assert run.pipeline.tracks.n_tracks <= 1, f"seed {seed}"
+        assert (
+            run.pipeline.system_diagnosis().anomaly_type is AnomalyType.NONE
+        ), f"seed {seed}"

@@ -1,0 +1,113 @@
+"""Unit tests for repro.sensornet.environment (Θ(t) models)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet import (
+    MINUTES_PER_DAY,
+    ConstantEnvironment,
+    GDIDiurnalEnvironment,
+    PiecewiseRegimeEnvironment,
+)
+
+
+class TestConstantEnvironment:
+    def test_never_changes(self):
+        env = ConstantEnvironment(attributes=(5.0, 50.0))
+        assert np.allclose(env.value_at(0.0), env.value_at(1e6))
+
+    def test_n_attributes(self):
+        assert ConstantEnvironment().n_attributes == 2
+
+
+class TestPiecewiseRegimeEnvironment:
+    def test_steps_through_regimes_in_order(self):
+        env = PiecewiseRegimeEnvironment(
+            regimes=[(1.0, 1.0), (2.0, 2.0)], dwell_minutes=10.0
+        )
+        assert np.allclose(env.value_at(0.0), [1.0, 1.0])
+        assert np.allclose(env.value_at(10.0), [2.0, 2.0])
+
+    def test_cycles_by_default(self):
+        env = PiecewiseRegimeEnvironment(
+            regimes=[(1.0,), (2.0,)], dwell_minutes=5.0
+        )
+        assert np.allclose(env.value_at(10.0), [1.0])
+
+    def test_holds_last_when_not_cycling(self):
+        env = PiecewiseRegimeEnvironment(
+            regimes=[(1.0,), (2.0,)], dwell_minutes=5.0, cycle=False
+        )
+        assert np.allclose(env.value_at(1000.0), [2.0])
+
+    def test_regime_index(self):
+        env = PiecewiseRegimeEnvironment(
+            regimes=[(1.0,), (2.0,), (3.0,)], dwell_minutes=60.0
+        )
+        assert env.regime_index_at(59.9) == 0
+        assert env.regime_index_at(60.0) == 1
+        assert env.regime_index_at(180.0) == 0  # cycles
+
+    def test_rejects_empty_regimes(self):
+        with pytest.raises(ValueError):
+            PiecewiseRegimeEnvironment(regimes=[])
+
+    def test_rejects_mixed_dimensionality(self):
+        with pytest.raises(ValueError):
+            PiecewiseRegimeEnvironment(regimes=[(1.0,), (1.0, 2.0)])
+
+
+class TestGDIDiurnalEnvironment:
+    def test_temperature_within_plausible_band(self):
+        env = GDIDiurnalEnvironment(n_days=7)
+        temps = [env.temperature_at(m) for m in range(0, 7 * MINUTES_PER_DAY, 30)]
+        assert min(temps) > env.temp_min - 10
+        assert max(temps) < env.temp_max + 10
+
+    def test_diurnal_cycle_peaks_in_afternoon(self):
+        env = GDIDiurnalEnvironment(front_scale=0.0)
+        morning = env.temperature_at(5 * 60.0)
+        afternoon = env.temperature_at(17 * 60.0)
+        assert afternoon > morning + 15
+
+    def test_humidity_anticorrelated_with_temperature(self):
+        env = GDIDiurnalEnvironment(n_days=3)
+        minutes = np.arange(0, 3 * MINUTES_PER_DAY, 15.0)
+        values = np.vstack([env.value_at(m) for m in minutes])
+        corr = np.corrcoef(values[:, 0], values[:, 1])[0, 1]
+        assert corr < -0.95
+
+    def test_humidity_clipped_to_physical_range(self):
+        env = GDIDiurnalEnvironment(n_days=3, front_scale=10.0)
+        minutes = np.arange(0, 3 * MINUTES_PER_DAY, 15.0)
+        humidity = np.array([env.value_at(m)[1] for m in minutes])
+        assert humidity.min() >= 0.0
+        assert humidity.max() <= 100.0
+
+    def test_deterministic_given_seed(self):
+        a = GDIDiurnalEnvironment(seed=11)
+        b = GDIDiurnalEnvironment(seed=11)
+        assert np.allclose(a.value_at(12345.0), b.value_at(12345.0))
+
+    def test_different_seeds_give_different_fronts(self):
+        a = GDIDiurnalEnvironment(seed=1, n_days=5)
+        b = GDIDiurnalEnvironment(seed=2, n_days=5)
+        samples_a = [a.temperature_at(m) for m in range(0, 5000, 100)]
+        samples_b = [b.temperature_at(m) for m in range(0, 5000, 100)]
+        assert not np.allclose(samples_a, samples_b)
+
+    def test_rejects_inverted_temperature_bounds(self):
+        with pytest.raises(ValueError):
+            GDIDiurnalEnvironment(temp_min=30.0, temp_max=10.0)
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            GDIDiurnalEnvironment(n_days=0)
+
+    def test_front_offset_is_smooth_between_days(self):
+        env = GDIDiurnalEnvironment(n_days=5, seed=3)
+        # Offsets 1 minute apart should differ by far less than the
+        # front scale (linear interpolation between daily values).
+        a = env._front_offset(2 * MINUTES_PER_DAY - 1)
+        b = env._front_offset(2 * MINUTES_PER_DAY + 1)
+        assert abs(a - b) < 0.1

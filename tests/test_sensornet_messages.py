@@ -1,0 +1,55 @@
+"""Unit tests for repro.sensornet.messages."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet import DeliveryRecord, MalformedMessage, SensorMessage
+
+
+class TestSensorMessage:
+    def test_vector_roundtrip(self):
+        msg = SensorMessage(sensor_id=3, timestamp=10.0, attributes=(21.5, 80.0))
+        assert np.allclose(msg.vector, [21.5, 80.0])
+        assert msg.n_attributes == 2
+
+    def test_rejects_negative_sensor_id(self):
+        with pytest.raises(ValueError):
+            SensorMessage(sensor_id=-1, timestamp=0.0, attributes=(1.0,))
+
+    def test_rejects_empty_attributes(self):
+        with pytest.raises(ValueError):
+            SensorMessage(sensor_id=0, timestamp=0.0, attributes=())
+
+    def test_is_hashable(self):
+        msg = SensorMessage(sensor_id=0, timestamp=0.0, attributes=(1.0, 2.0))
+        assert msg in {msg}
+
+    def test_with_attributes_preserves_metadata(self):
+        msg = SensorMessage(
+            sensor_id=5, timestamp=42.0, attributes=(1.0, 2.0), sequence_number=9
+        )
+        corrupted = msg.with_attributes([3.0, 4.0])
+        assert corrupted.sensor_id == 5
+        assert corrupted.timestamp == 42.0
+        assert corrupted.sequence_number == 9
+        assert corrupted.attributes == (3.0, 4.0)
+
+    def test_with_attributes_does_not_mutate_original(self):
+        msg = SensorMessage(sensor_id=0, timestamp=0.0, attributes=(1.0,))
+        msg.with_attributes([9.0])
+        assert msg.attributes == (1.0,)
+
+
+class TestDeliveryRecord:
+    def test_delivered_ok(self):
+        msg = SensorMessage(sensor_id=0, timestamp=0.0, attributes=(1.0,))
+        assert DeliveryRecord(message=msg).delivered_ok
+
+    def test_lost_is_not_ok(self):
+        assert not DeliveryRecord(lost=True).delivered_ok
+
+    def test_malformed_is_not_ok(self):
+        record = DeliveryRecord(
+            malformed=MalformedMessage(sensor_id=1, timestamp=5.0)
+        )
+        assert not record.delivered_ok

@@ -1,0 +1,76 @@
+"""Unit tests for repro.sensornet.network (lossy radio links)."""
+
+import pytest
+
+from repro.sensornet import RadioLink, SensorMessage, StarNetwork
+
+
+def message(sensor_id: int = 0) -> SensorMessage:
+    return SensorMessage(sensor_id=sensor_id, timestamp=0.0, attributes=(1.0,))
+
+
+class TestRadioLink:
+    def test_perfect_link_delivers_everything(self):
+        link = RadioLink(loss_probability=0.0, corruption_probability=0.0)
+        for _ in range(50):
+            assert link.transmit(message()).delivered_ok
+
+    def test_total_loss_delivers_nothing(self):
+        link = RadioLink(loss_probability=1.0, corruption_probability=0.0)
+        record = link.transmit(message())
+        assert record.lost
+        assert not record.delivered_ok
+
+    def test_loss_rate_statistics(self):
+        link = RadioLink(loss_probability=0.3, corruption_probability=0.0, seed=5)
+        lost = sum(link.transmit(message()).lost for _ in range(4000))
+        assert 0.25 < lost / 4000 < 0.35
+
+    def test_corruption_produces_malformed(self):
+        link = RadioLink(loss_probability=0.0, corruption_probability=1.0)
+        record = link.transmit(message(sensor_id=7))
+        assert record.malformed is not None
+        assert record.malformed.sensor_id == 7
+        assert not record.delivered_ok
+
+    def test_quality_combines_both_processes(self):
+        link = RadioLink(loss_probability=0.2, corruption_probability=0.1)
+        assert abs(link.quality - 0.8 * 0.9) < 1e-12
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RadioLink(loss_probability=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = RadioLink(loss_probability=0.5, seed=3)
+        b = RadioLink(loss_probability=0.5, seed=3)
+        outcomes_a = [a.transmit(message()).lost for _ in range(100)]
+        outcomes_b = [b.transmit(message()).lost for _ in range(100)]
+        assert outcomes_a == outcomes_b
+
+
+class TestStarNetwork:
+    def test_homogeneous_builds_one_link_per_sensor(self):
+        network = StarNetwork.homogeneous(range(5), loss_probability=0.1)
+        assert set(network.links) == set(range(5))
+
+    def test_links_have_independent_streams(self):
+        network = StarNetwork.homogeneous(range(2), loss_probability=0.5, seed=1)
+        a = [network.transmit(message(0)).lost for _ in range(200)]
+        b = [network.transmit(message(1)).lost for _ in range(200)]
+        assert a != b
+
+    def test_unknown_sensor_gets_perfect_adhoc_link(self):
+        network = StarNetwork.homogeneous([0], loss_probability=1.0)
+        record = network.transmit(message(sensor_id=99))
+        assert record.delivered_ok
+
+    def test_routes_by_sensor_id(self):
+        network = StarNetwork(
+            links={
+                0: RadioLink(loss_probability=1.0),
+                1: RadioLink(loss_probability=0.0, corruption_probability=0.0),
+            }
+        )
+        assert network.transmit(message(0)).lost
+        assert network.transmit(message(1)).delivered_ok

@@ -1,0 +1,90 @@
+"""Unit tests for repro.sensornet.sensor (motes and batteries)."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet import BatteryModel, ConstantEnvironment, Mote
+
+
+class TestBatteryModel:
+    def test_starts_alive(self):
+        assert BatteryModel().alive
+
+    def test_drains_and_dies(self):
+        battery = BatteryModel(
+            initial_charge=1.0, drain_per_sample=0.3, shutdown_threshold=0.05
+        )
+        battery.consume()
+        battery.consume()
+        battery.consume()
+        battery.consume()
+        assert not battery.alive
+        assert battery.charge == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BatteryModel(initial_charge=0.0)
+        with pytest.raises(ValueError):
+            BatteryModel(drain_per_sample=-1.0)
+
+
+class TestMote:
+    def test_sample_is_truth_plus_noise(self):
+        env = ConstantEnvironment(attributes=(20.0, 75.0))
+        mote = Mote(sensor_id=0, environment=env, noise_std=0.5, seed=1)
+        readings = np.vstack([mote.sample(float(t)).vector for t in range(500)])
+        assert np.allclose(readings.mean(axis=0), [20.0, 75.0], atol=0.2)
+        assert np.allclose(readings.std(axis=0), 0.5, atol=0.1)
+
+    def test_noiseless_mote_reports_exact_truth(self):
+        env = ConstantEnvironment(attributes=(20.0, 75.0))
+        mote = Mote(sensor_id=0, environment=env, noise_std=0.0)
+        assert np.allclose(mote.sample(0.0).vector, [20.0, 75.0])
+
+    def test_sequence_numbers_increment(self):
+        mote = Mote(sensor_id=0, environment=ConstantEnvironment())
+        first = mote.sample(0.0)
+        second = mote.sample(5.0)
+        assert second.sequence_number == first.sequence_number + 1
+
+    def test_dead_battery_stops_reporting(self):
+        battery = BatteryModel(
+            initial_charge=0.2, drain_per_sample=0.1, shutdown_threshold=0.05
+        )
+        mote = Mote(
+            sensor_id=0, environment=ConstantEnvironment(), battery=battery
+        )
+        results = [mote.sample(float(t)) for t in range(5)]
+        assert results[0] is not None
+        assert results[-1] is None
+
+    def test_skip_probability_drops_samples(self):
+        mote = Mote(
+            sensor_id=0,
+            environment=ConstantEnvironment(),
+            skip_probability=0.5,
+            seed=3,
+        )
+        produced = sum(mote.sample(float(t)) is not None for t in range(1000))
+        assert 380 < produced < 620
+
+    def test_independent_streams_per_mote(self):
+        env = ConstantEnvironment()
+        a = Mote(sensor_id=0, environment=env, seed=7)
+        b = Mote(sensor_id=1, environment=env, seed=7)
+        ra = np.vstack([a.sample(float(t)).vector for t in range(50)])
+        rb = np.vstack([b.sample(float(t)).vector for t in range(50)])
+        assert not np.allclose(ra, rb)
+
+    def test_deterministic_given_seed_and_id(self):
+        env = ConstantEnvironment()
+        a = Mote(sensor_id=4, environment=env, seed=7)
+        b = Mote(sensor_id=4, environment=env, seed=7)
+        assert np.allclose(a.sample(0.0).vector, b.sample(0.0).vector)
+
+    def test_rejects_bad_parameters(self):
+        env = ConstantEnvironment()
+        with pytest.raises(ValueError):
+            Mote(sensor_id=0, environment=env, noise_std=-1.0)
+        with pytest.raises(ValueError):
+            Mote(sensor_id=0, environment=env, skip_probability=1.0)

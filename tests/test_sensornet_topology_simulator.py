@@ -1,0 +1,127 @@
+"""Unit tests for repro.sensornet.topology and .simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sensornet import (
+    CollectorNode,
+    ConstantEnvironment,
+    Deployment,
+    Mote,
+    MotePlacement,
+    NetworkSimulator,
+    PiecewiseRegimeEnvironment,
+)
+
+
+class TestDeployment:
+    def test_random_field_places_all_motes(self):
+        deployment = Deployment.random_field(n_motes=8, seed=1)
+        assert len(deployment.placements) == 8
+        assert deployment.sensor_ids == list(range(8))
+
+    def test_random_field_is_deterministic(self):
+        a = Deployment.random_field(n_motes=4, seed=9)
+        b = Deployment.random_field(n_motes=4, seed=9)
+        assert [(p.x, p.y) for p in a.placements] == [
+            (p.x, p.y) for p in b.placements
+        ]
+
+    def test_loss_grows_with_distance_and_clips(self):
+        deployment = Deployment.random_field(
+            n_motes=2, reference_distance=100.0, reference_loss=0.2, max_loss=0.6
+        )
+        assert deployment.loss_probability_at(0.0) == 0.0
+        assert deployment.loss_probability_at(100.0) == pytest.approx(0.2)
+        assert deployment.loss_probability_at(1000.0) == 0.6
+
+    def test_build_network_has_link_per_mote(self):
+        deployment = Deployment.random_field(n_motes=5, seed=2)
+        network = deployment.build_network()
+        assert set(network.links) == set(range(5))
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            Deployment(
+                placements=[
+                    MotePlacement(sensor_id=0, x=0.0, y=0.0),
+                    MotePlacement(sensor_id=0, x=1.0, y=1.0),
+                ]
+            )
+
+    def test_bounding_box(self):
+        deployment = Deployment(
+            placements=[
+                MotePlacement(sensor_id=0, x=-5.0, y=2.0),
+                MotePlacement(sensor_id=1, x=3.0, y=-7.0),
+            ]
+        )
+        assert deployment.bounding_box() == (-5.0, -7.0, 3.0, 2.0)
+
+
+class TestNetworkSimulator:
+    def build(self, n_motes=3, window_minutes=60.0, corruption=None):
+        env = ConstantEnvironment()
+        motes = [
+            Mote(sensor_id=i, environment=env, noise_std=0.1, seed=1)
+            for i in range(n_motes)
+        ]
+        collector = CollectorNode(window_minutes=window_minutes)
+        return NetworkSimulator(
+            environment=env,
+            motes=motes,
+            collector=collector,
+            corruption=corruption,
+        )
+
+    def test_run_produces_expected_window_count(self):
+        simulator = self.build()
+        report = simulator.run(duration_minutes=240.0)
+        assert len(report.windows) == 4
+        assert report.n_ticks == 48  # 240 / 5
+
+    def test_all_messages_delivered_without_radio(self):
+        simulator = self.build(n_motes=2)
+        report = simulator.run(duration_minutes=60.0)
+        assert sum(len(w.messages) for w in report.windows) == 2 * 12
+
+    def test_on_window_callback_sees_windows_in_order(self):
+        simulator = self.build()
+        seen = []
+        simulator.run(duration_minutes=180.0, on_window=lambda w: seen.append(w.index))
+        assert seen == [1, 2, 3]
+
+    def test_corruption_stage_can_suppress_messages(self):
+        simulator = self.build(corruption=lambda message: None)
+        report = simulator.run(duration_minutes=60.0)
+        assert all(w.is_empty for w in report.windows)
+
+    def test_corruption_stage_can_rewrite_messages(self):
+        stage = lambda m: m.with_attributes((0.0, 0.0))
+        simulator = self.build(corruption=stage)
+        report = simulator.run(duration_minutes=60.0)
+        for window in report.windows:
+            assert np.allclose(window.observations, 0.0)
+
+    def test_rejects_bad_parameters(self):
+        env = ConstantEnvironment()
+        with pytest.raises(ValueError):
+            NetworkSimulator(
+                environment=env, motes=[], collector=CollectorNode()
+            )
+        with pytest.raises(ValueError):
+            self.build().run(duration_minutes=0.0)
+
+    def test_windows_follow_environment_regimes(self):
+        env = PiecewiseRegimeEnvironment(
+            regimes=[(10.0, 90.0), (30.0, 50.0)], dwell_minutes=60.0
+        )
+        motes = [Mote(sensor_id=0, environment=env, noise_std=0.0)]
+        simulator = NetworkSimulator(
+            environment=env,
+            motes=motes,
+            collector=CollectorNode(window_minutes=60.0),
+        )
+        report = simulator.run(duration_minutes=120.0)
+        assert np.allclose(report.windows[0].overall_mean(), [10.0, 90.0])
+        assert np.allclose(report.windows[1].overall_mean(), [30.0, 50.0])

@@ -1,0 +1,109 @@
+"""Tests for analysis.serialization and analysis.incident."""
+
+import json
+
+import pytest
+
+from repro import DetectionPipeline
+from repro.analysis import (
+    RECOVERY_ACTIONS,
+    incident_report,
+    load_report,
+    pipeline_to_dict,
+    recommended_action,
+    save_report,
+)
+from repro.core.classification import AnomalyType, Diagnosis
+
+
+class TestPipelineToDict:
+    def test_document_shape(self, stuck_run):
+        document = pipeline_to_dict(stuck_run.pipeline)
+        assert document["format_version"] == 1
+        assert document["n_windows"] == stuck_run.pipeline.n_windows
+        assert document["diagnoses"]["6"]["anomaly_type"] == "stuck_at"
+        assert document["system_diagnosis"]["anomaly_type"] == "none"
+        assert len(document["tracks"]) >= 1
+
+    def test_document_is_json_serialisable(self, stuck_run):
+        text = json.dumps(pipeline_to_dict(stuck_run.pipeline))
+        assert "stuck_at" in text
+
+    def test_b_co_matrix_rows_present(self, stuck_run):
+        document = pipeline_to_dict(stuck_run.pipeline)
+        b_co = document["b_co"]
+        assert len(b_co["matrix"]) == len(b_co["states"])
+        assert all(len(row) == len(b_co["symbols"]) for row in b_co["matrix"])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_to_dict(DetectionPipeline())
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip(self, stuck_run, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(stuck_run.pipeline, path)
+        summary = load_report(path)
+        assert summary.system_anomaly is AnomalyType.NONE
+        assert summary.sensor_anomalies[6] is AnomalyType.STUCK_AT
+        assert summary.anomalous_sensors == [6]
+        assert summary.n_windows == stuck_run.pipeline.n_windows
+        assert summary.n_tracks >= 1
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_report(path)
+
+    def test_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"format_version": 1, "n_windows": 3}))
+        with pytest.raises(ValueError, match="missing"):
+            load_report(path)
+
+
+class TestIncidentReport:
+    def test_healthy_report(self, clean_run):
+        text = incident_report(clean_run.pipeline, title="GDI status")
+        assert "GDI status" in text
+        assert "network healthy" in text
+        assert "system verdict" in text and ": none" in text
+
+    def test_error_report_recommends_replacement(self, stuck_run):
+        text = incident_report(stuck_run.pipeline)
+        assert "stuck_at" in text
+        assert "replacement" in text
+        assert "SECURITY ALERT" not in text
+
+    def test_attack_report_raises_security_alert(self, deletion_run):
+        text = incident_report(deletion_run.pipeline)
+        assert "SECURITY ALERT" in text
+        assert "deletion" in text
+        assert "isolate node" in text
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            incident_report(DetectionPipeline())
+
+
+class TestRecoveryActions:
+    def test_every_anomaly_type_has_an_action(self):
+        for anomaly_type in AnomalyType:
+            assert anomaly_type in RECOVERY_ACTIONS
+
+    def test_attack_actions_are_security_actions(self):
+        for anomaly_type in (
+            AnomalyType.DYNAMIC_CREATION,
+            AnomalyType.DYNAMIC_DELETION,
+            AnomalyType.DYNAMIC_CHANGE,
+            AnomalyType.MIXED,
+        ):
+            diagnosis = Diagnosis(anomaly_type=anomaly_type)
+            assert "SECURITY" in recommended_action(diagnosis)
+
+    def test_error_actions_are_maintenance_actions(self):
+        for anomaly_type in (AnomalyType.STUCK_AT, AnomalyType.CALIBRATION):
+            diagnosis = Diagnosis(anomaly_type=anomaly_type)
+            assert "SECURITY" not in recommended_action(diagnosis)
