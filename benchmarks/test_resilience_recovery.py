@@ -1,0 +1,90 @@
+"""Resilience — recovery after a collector crash mid-deployment.
+
+Measures the cost of crash/restore on a GDI-style trace: how many
+windows are rolled back (windows-to-recovery) and whether the restored
+run's final diagnoses agree with an uninterrupted run over the same
+trace.  The checkpoint round-trip is exact, so the only loss is the
+windows between the last checkpoint and the crash.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro import DetectionPipeline, PipelineConfig
+from repro.experiments import cached_scenario
+from repro.resilience import restore, snapshot
+
+#: Window index at which the collector "crashes".
+CRASH_WINDOW = 150
+#: Checkpoint cadence in windows.
+CHECKPOINT_EVERY = 12
+
+
+def crash_and_recover(windows, config):
+    """Run the trace with a crash at CRASH_WINDOW, restoring from the
+    latest periodic checkpoint; returns (pipeline, windows_rolled_back)."""
+    pipeline = DetectionPipeline(config)
+    checkpoint = json.dumps(snapshot(pipeline))
+    checkpoint_at = 0
+    rolled_back = 0
+    for i, window in enumerate(windows):
+        if i == CRASH_WINDOW:
+            rolled_back = pipeline.n_windows - checkpoint_at
+            pipeline = restore(json.loads(checkpoint))
+            # The restored collector replays nothing: the crash window
+            # itself and everything since the checkpoint is gone, so the
+            # pipeline continues from the next incoming window.
+            continue
+        pipeline.process_window(window)
+        if pipeline.n_windows % CHECKPOINT_EVERY == 0:
+            checkpoint = json.dumps(snapshot(pipeline))
+            checkpoint_at = pipeline.n_windows
+    return pipeline, rolled_back
+
+
+def test_recovery_after_crash(benchmark, bench_days):
+    run = cached_scenario("faulty", n_days=bench_days)
+    windows = run.windows()
+    config = run.config
+
+    baseline = DetectionPipeline(config)
+    for window in windows:
+        baseline.process_window(window)
+
+    recovered, rolled_back = run_once(
+        benchmark, lambda: crash_and_recover(windows, config)
+    )
+
+    # Windows-to-recovery is bounded by the checkpoint cadence (plus the
+    # crash window itself, which no checkpoint can save).
+    assert 0 <= rolled_back <= CHECKPOINT_EVERY
+    lost = rolled_back + 1
+    print(
+        f"\ncrash at window {CRASH_WINDOW}: rolled back {rolled_back} "
+        f"windows ({lost} of {len(windows)} lost, "
+        f"{lost / len(windows):.1%} of the trace)"
+    )
+
+    # Diagnosis agreement: losing one checkpoint interval must not
+    # change what the deployment concludes about any sensor.
+    expected = {
+        sensor_id: diagnosis.anomaly_type
+        for sensor_id, diagnosis in baseline.diagnose_all().items()
+    }
+    actual = {
+        sensor_id: diagnosis.anomaly_type
+        for sensor_id, diagnosis in recovered.diagnose_all().items()
+    }
+    assert actual == expected
+    assert (
+        recovered.system_diagnosis().anomaly_type
+        is baseline.system_diagnosis().anomaly_type
+    )
+    print(
+        "diagnoses after recovery agree with the uninterrupted run: "
+        + ", ".join(
+            f"sensor {sensor_id}={anomaly.value}"
+            for sensor_id, anomaly in sorted(actual.items())
+        )
+    )

@@ -6,6 +6,14 @@ environment model ``M_C``, the learned ``B`` matrices, per-sensor
 diagnoses, alarm statistics — into a stable, versioned JSON document,
 and parses such documents back into plain summaries for dashboards or
 archival comparison.
+
+Two sibling document kinds live side by side:
+
+* **reports** (this module, :data:`REPORT_FORMAT_VERSION`) — derived
+  findings for humans and dashboards; lossy by design.
+* **checkpoints** (:mod:`repro.resilience.checkpoint`,
+  re-exported here as :func:`save_checkpoint`/:func:`load_checkpoint`) —
+  the complete pipeline state, lossless, for crash recovery.
 """
 
 from __future__ import annotations
@@ -19,11 +27,27 @@ import numpy as np
 
 from ..core.classification import AnomalyType, Diagnosis
 from ..core.pipeline import DetectionPipeline
+from ..resilience.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 PathLike = Union[str, Path]
 
 #: Format version stamped into every report document.
 REPORT_FORMAT_VERSION = 1
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "REPORT_FORMAT_VERSION",
+    "ReportSummary",
+    "load_checkpoint",
+    "load_report",
+    "pipeline_to_dict",
+    "save_checkpoint",
+    "save_report",
+]
 
 
 def _emission_to_dict(emission) -> Dict[str, object]:

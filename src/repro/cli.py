@@ -6,11 +6,17 @@ Usage (also available as ``python -m repro``)::
     python -m repro reproduce fig7 --days 21
     python -m repro reproduce table6 --days 21 --seed 2003
     python -m repro scenario stuck_at --days 14
+    python -m repro scenario clean --checkpoint state.json
     python -m repro sweep a1
+    python -m repro chaos --days 7 --crash-at 40 --crash-at 90
 
 ``reproduce`` regenerates one paper table/figure and prints its ASCII
 rendering; ``scenario`` runs one standard corruption scenario and prints
-the per-sensor diagnoses; ``sweep`` runs one ablation study.
+the per-sensor diagnoses (``--checkpoint`` also writes a restorable
+pipeline checkpoint); ``sweep`` runs one ablation study; ``chaos`` runs
+an infrastructure chaos campaign (bursty loss, delay/reordering,
+duplication, clock skew, collector crash + checkpoint restart) and
+prints the degradation report.
 """
 
 from __future__ import annotations
@@ -90,9 +96,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full operator incident report",
     )
+    scenario.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write a restorable pipeline checkpoint to PATH as JSON",
+    )
 
     sweep = sub.add_parser("sweep", help="run an ablation study")
     sweep.add_argument("id", choices=sorted(_SWEEPS))
+
+    chaos = sub.add_parser("chaos", help="run an infrastructure chaos campaign")
+    chaos.add_argument("--days", type=int, default=7)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--no-burst",
+        action="store_true",
+        help="disable the Gilbert-Elliott bursty loss process",
+    )
+    chaos.add_argument(
+        "--loss-prob",
+        type=float,
+        default=0.15,
+        help="i.i.d. packet loss used when the burst process is disabled",
+    )
+    chaos.add_argument("--corruption-prob", type=float, default=0.01)
+    chaos.add_argument("--delay-prob", type=float, default=0.10)
+    chaos.add_argument("--max-delay", type=float, default=90.0, metavar="MINUTES")
+    chaos.add_argument("--duplicate-prob", type=float, default=0.05)
+    chaos.add_argument(
+        "--crash-at",
+        type=int,
+        action="append",
+        default=None,
+        metavar="WINDOW",
+        help="kill the collector at this window index and restart from "
+        "the latest checkpoint (repeatable)",
+    )
+    chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        metavar="WINDOWS",
+        help="checkpoint cadence in processed windows",
+    )
+    chaos.add_argument(
+        "--skew",
+        action="append",
+        default=None,
+        metavar="SENSOR:MINUTES",
+        help="give one mote a skewed clock, e.g. --skew 2:-90 (repeatable)",
+    )
 
     return parser
 
@@ -119,6 +173,7 @@ def _cmd_scenario(
     seed: int,
     save: Optional[str] = None,
     full_report: bool = False,
+    checkpoint: Optional[str] = None,
 ) -> str:
     run = cached_scenario(name, n_days=days, seed=seed)
     pipeline = run.pipeline
@@ -126,6 +181,10 @@ def _cmd_scenario(
         from .analysis.serialization import save_report
 
         save_report(pipeline, save)
+    if checkpoint is not None:
+        from .resilience.checkpoint import save_checkpoint
+
+        save_checkpoint(pipeline, checkpoint)
     if full_report:
         from .analysis.incident import incident_report
 
@@ -154,6 +213,40 @@ def _cmd_scenario(
     return "\n".join(lines)
 
 
+def _parse_skews(entries: Optional[List[str]]) -> Dict[int, float]:
+    skews: Dict[int, float] = {}
+    for entry in entries or ():
+        sensor_text, _, minutes_text = entry.partition(":")
+        try:
+            skews[int(sensor_text)] = float(minutes_text)
+        except ValueError:
+            raise SystemExit(
+                f"--skew expects SENSOR:MINUTES (e.g. 2:-90), got {entry!r}"
+            )
+    return skews
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    from .resilience.chaos import ChaosSpec, run_chaos
+    from .sensornet.network import GilbertElliottLoss
+
+    spec = ChaosSpec(
+        n_days=args.days,
+        seed=args.seed,
+        burst=None if args.no_burst else GilbertElliottLoss(),
+        loss_probability=args.loss_prob,
+        corruption_probability=args.corruption_prob,
+        delay_probability=args.delay_prob,
+        max_delay_minutes=args.max_delay,
+        duplicate_probability=args.duplicate_prob,
+        clock_skew_minutes=_parse_skews(args.skew),
+        crash_at_windows=tuple(args.crash_at or ()),
+        checkpoint_every_windows=args.checkpoint_every,
+    )
+    report, _ = run_chaos(spec)
+    return report.render()
+
+
 def _cmd_sweep(sweep_id: str) -> str:
     result = _SWEEPS[sweep_id]()
     if isinstance(result, tuple):  # classification_matrix-style pairs
@@ -176,10 +269,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.seed,
                 save=args.save,
                 full_report=args.incident_report,
+                checkpoint=args.checkpoint,
             )
         )
     elif args.command == "sweep":
         print(_cmd_sweep(args.id))
+    elif args.command == "chaos":
+        print(_cmd_chaos(args))
     return 0
 
 

@@ -10,6 +10,7 @@ defaults recorded in DESIGN.md §6.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
@@ -80,6 +81,17 @@ class PipelineConfig:
     #: the user-facing Markov models (Fig. 7's spurious-state handling).
     prune_visit_fraction: float = 0.02
 
+    # --- resilience ------------------------------------------------------
+    #: Drop non-finite (NaN/Inf) readings inside the pipeline before they
+    #: reach clustering and identification.  The collector already
+    #: quarantines such messages; this guards windows built by other
+    #: paths (batch windowing, hand-assembled fixtures).
+    drop_non_finite: bool = True
+    #: How often (in windows) a resilient deployment checkpoints its
+    #: pipeline; 0 disables periodic checkpointing.  Consumed by the
+    #: chaos harness and the CLI, not by the pipeline itself.
+    checkpoint_every_windows: int = 0
+
     def __post_init__(self) -> None:
         if self.n_sensors <= 0:
             raise ValueError("n_sensors must be positive")
@@ -95,6 +107,8 @@ class PipelineConfig:
                 raise ValueError(f"{name} must be in (0, 1)")
         if self.filter_kind not in FILTER_KINDS:
             raise ValueError(f"filter_kind must be one of {FILTER_KINDS}")
+        if self.checkpoint_every_windows < 0:
+            raise ValueError("checkpoint_every_windows must be non-negative")
 
     @property
     def window_minutes(self) -> float:
@@ -149,3 +163,29 @@ class PipelineConfig:
             "spawn_threshold": self.spawn_threshold,
             "merge_threshold": self.merge_threshold,
         }
+
+    # -- checkpointing ----------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Complete, lossless JSON view (checkpoint round-trips need it).
+
+        Unlike :meth:`as_dict` (a flat summary for sweep harnesses) this
+        captures *every* field, including the nested classifier
+        configuration, so :meth:`from_json_dict` rebuilds an identical
+        configuration.
+        """
+        return dataclasses.asdict(self)  # recurses into classifier
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "PipelineConfig":
+        """Inverse of :meth:`to_json_dict`."""
+        fields = dict(payload)
+        classifier = fields.pop("classifier", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(fields) - known
+        if unknown:
+            raise ValueError(f"unknown config fields: {sorted(unknown)}")
+        config = cls(**fields)
+        if classifier is not None:
+            config.classifier = ClassifierConfig(**classifier)
+        return config

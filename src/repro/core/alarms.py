@@ -75,3 +75,36 @@ class AlarmGenerator:
     def sensors_seen(self) -> Set[int]:
         """All sensors that reported at least once."""
         return set(self.history.keys())
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the alarm log and per-sensor history."""
+        return {
+            "history": [
+                [sensor_id, [int(fired) for fired in series]]
+                for sensor_id, series in sorted(self.history.items())
+            ],
+            "alarms": [
+                [a.window_index, a.sensor_id, a.sensor_state, a.correct_state]
+                for a in self.alarms
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "AlarmGenerator":
+        generator = cls()
+        generator.history = {
+            int(sensor_id): [bool(x) for x in series]
+            for sensor_id, series in payload["history"]
+        }
+        generator.alarms = [
+            RawAlarm(
+                window_index=int(w),
+                sensor_id=int(s),
+                sensor_state=int(state),
+                correct_state=int(correct),
+            )
+            for w, s, state, correct in payload["alarms"]
+        ]
+        return generator

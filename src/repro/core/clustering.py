@@ -94,7 +94,19 @@ class OnlineStateClusterer:
     # -- queries ---------------------------------------------------------
 
     def assign(self, point: np.ndarray) -> int:
-        """Eq. 3: id of the nearest state to ``point`` (no side effects)."""
+        """Eq. 3: id of the nearest state to ``point`` (no side effects).
+
+        Raises
+        ------
+        ValueError
+            If ``point`` contains NaN/Inf: a non-finite reading has no
+            meaningful nearest state and must never reach the clusterer
+            (the collector quarantines such messages; the pipeline drops
+            any that slip through).
+        """
+        point = np.asarray(point, dtype=float)
+        if not np.all(np.isfinite(point)):
+            raise ValueError("cannot assign a non-finite observation to a state")
         state, _ = self.states.nearest(point)
         return state.state_id
 
@@ -111,6 +123,9 @@ class OnlineStateClusterer:
         able to describe that observable condition ("the module should
         expand the current set of states when appropriate", §3.1).
         """
+        point = np.asarray(point, dtype=float)
+        if not np.all(np.isfinite(point)):
+            raise ValueError("cannot spawn a state at a non-finite position")
         _, distance = self.states.nearest(point)
         if distance > self.spawn_threshold and len(self.states) < self.max_states:
             return self.states.spawn(point).state_id
@@ -135,6 +150,10 @@ class OnlineStateClusterer:
         observations = np.atleast_2d(np.asarray(observations, dtype=float))
         if observations.size == 0:
             return ClusterUpdate(assignments=[], spawned=[], merged=[])
+        if not np.all(np.isfinite(observations)):
+            # A single NaN/Inf row would poison every centroid it touches
+            # through the Eq. 6 convex update; reject the window outright.
+            raise ValueError("observations contain non-finite values")
 
         spawned = self._spawn_far_observations(observations)
         assignments = [self.assign(row) for row in observations]
@@ -203,3 +222,28 @@ class OnlineStateClusterer:
     def state_labels(self) -> Dict[int, str]:
         """state_id -> display label for reports."""
         return self.states.labels()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: tuning knobs plus the full state set."""
+        return {
+            "alpha": self.alpha,
+            "spawn_threshold": self.spawn_threshold,
+            "merge_threshold": self.merge_threshold,
+            "max_states": self.max_states,
+            "states": self.states.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "OnlineStateClusterer":
+        """Rebuild a clusterer from :meth:`state_dict` output."""
+        clusterer = cls(
+            initial_vectors=[np.zeros(1)],
+            alpha=float(payload["alpha"]),
+            spawn_threshold=float(payload["spawn_threshold"]),
+            merge_threshold=float(payload["merge_threshold"]),
+            max_states=int(payload["max_states"]),
+        )
+        clusterer.states = StateSet.from_state_dict(payload["states"])
+        return clusterer

@@ -36,6 +36,10 @@ class AlarmFilter:
         """Forget all history."""
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (parameters plus mutable state)."""
+        raise NotImplementedError
+
 
 @dataclass
 class KOfNFilter(AlarmFilter):
@@ -68,6 +72,22 @@ class KOfNFilter(AlarmFilter):
     def reset(self) -> None:
         self._window.clear()
         self._active = False
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "k_of_n",
+            "k": self.k,
+            "n": self.n,
+            "window": [bool(x) for x in self._window],
+            "active": self._active,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "KOfNFilter":
+        filt = cls(k=int(payload["k"]), n=int(payload["n"]))
+        filt._window = deque(bool(x) for x in payload["window"])
+        filt._active = bool(payload["active"])
+        return filt
 
 
 @dataclass
@@ -125,6 +145,29 @@ class SPRTFilter(AlarmFilter):
         self._llr = 0.0
         self._active = False
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "sprt",
+            "p0": self.p0,
+            "p1": self.p1,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "llr": self._llr,
+            "active": self._active,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "SPRTFilter":
+        filt = cls(
+            p0=float(payload["p0"]),
+            p1=float(payload["p1"]),
+            alpha=float(payload["alpha"]),
+            beta=float(payload["beta"]),
+        )
+        filt._llr = float(payload["llr"])
+        filt._active = bool(payload["active"])
+        return filt
+
 
 @dataclass
 class CUSUMFilter(AlarmFilter):
@@ -162,6 +205,38 @@ class CUSUMFilter(AlarmFilter):
     def reset(self) -> None:
         self._g = 0.0
         self._active = False
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "cusum",
+            "drift": self.drift,
+            "threshold": self.threshold,
+            "g": self._g,
+            "active": self._active,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "CUSUMFilter":
+        filt = cls(drift=float(payload["drift"]), threshold=float(payload["threshold"]))
+        filt._g = float(payload["g"])
+        filt._active = bool(payload["active"])
+        return filt
+
+
+#: filter kind tag -> restoring class, for checkpoint round-trips.
+_FILTER_CLASSES = {
+    "k_of_n": KOfNFilter,
+    "sprt": SPRTFilter,
+    "cusum": CUSUMFilter,
+}
+
+
+def filter_from_state_dict(payload: Dict[str, object]) -> AlarmFilter:
+    """Rebuild any alarm filter from its :meth:`~AlarmFilter.state_dict`."""
+    kind = payload.get("kind")
+    if kind not in _FILTER_CLASSES:
+        raise ValueError(f"unknown alarm filter kind: {kind!r}")
+    return _FILTER_CLASSES[kind].from_state_dict(payload)
 
 
 @dataclass(frozen=True)
@@ -213,3 +288,25 @@ class FilterBank:
         """Filtered-alarm state of one sensor (False if never seen)."""
         filt = self.filters.get(sensor_id)
         return filt.active if filt is not None else False
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every per-sensor filter."""
+        return {
+            "filters": [
+                [sensor_id, self.filters[sensor_id].state_dict()]
+                for sensor_id in sorted(self.filters)
+            ]
+        }
+
+    def load_state_dict(self, payload: Dict[str, object]) -> None:
+        """Replace all per-sensor filters with a snapshot's contents.
+
+        The bank keeps its current ``factory`` (supplied by the pipeline
+        configuration) for sensors first seen after the restore.
+        """
+        self.filters = {
+            int(sensor_id): filter_from_state_dict(state)
+            for sensor_id, state in payload["filters"]
+        }

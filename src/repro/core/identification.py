@@ -87,6 +87,12 @@ def identify_window(
     """
     if not per_sensor:
         raise ValueError("cannot identify states for an empty window")
+    for sensor_id, vector in per_sensor.items():
+        if not np.all(np.isfinite(np.asarray(vector, dtype=float))):
+            raise ValueError(
+                f"sensor {sensor_id} observation is non-finite; "
+                "sanitize the window before identification"
+            )
 
     # Eq. 3: map each sensor's observation to its nearest model state.
     sensor_states = {

@@ -310,6 +310,67 @@ class OnlineHMM:
             )
         return snapshot.without_symbol(BOTTOM_STATE_ID)
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the full estimator state.
+
+        Matrices are stored at full float precision (via ``repr``-exact
+        floats once JSON-encoded) so a restored estimator continues the
+        exponential-forgetting recursion bit-identically.
+        """
+        return {
+            "transition_innovation": self.transition_innovation,
+            "emission_innovation": self.emission_innovation,
+            "state_index": [
+                [state_id, index] for state_id, index in self._state_index.items()
+            ],
+            "symbol_index": [
+                [symbol_id, index] for symbol_id, index in self._symbol_index.items()
+            ],
+            "transition": [[float(x) for x in row] for row in self._transition],
+            "emission": [[float(x) for x in row] for row in self._emission],
+            "state_visits": [
+                [state_id, count] for state_id, count in self._state_visits.items()
+            ],
+            "symbol_visits": [
+                [symbol_id, count] for symbol_id, count in self._symbol_visits.items()
+            ],
+            "pair_counts": [
+                [state_id, symbol_id, count]
+                for (state_id, symbol_id), count in self._pair_counts.items()
+            ],
+            "previous_state": self._previous_state,
+            "n_updates": self._n_updates,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "OnlineHMM":
+        """Rebuild an estimator from :meth:`state_dict` output."""
+        model = cls(
+            transition_innovation=float(payload["transition_innovation"]),
+            emission_innovation=float(payload["emission_innovation"]),
+        )
+        model._state_index = {int(s): int(i) for s, i in payload["state_index"]}
+        model._symbol_index = {int(s): int(i) for s, i in payload["symbol_index"]}
+        n_states = len(model._state_index)
+        n_symbols = len(model._symbol_index)
+        model._transition = np.asarray(payload["transition"], dtype=float).reshape(
+            n_states, n_states
+        )
+        model._emission = np.asarray(payload["emission"], dtype=float).reshape(
+            n_states, n_symbols
+        )
+        model._state_visits = {int(s): int(c) for s, c in payload["state_visits"]}
+        model._symbol_visits = {int(s): int(c) for s, c in payload["symbol_visits"]}
+        model._pair_counts = {
+            (int(s), int(o)): int(c) for s, o, c in payload["pair_counts"]
+        }
+        previous = payload["previous_state"]
+        model._previous_state = None if previous is None else int(previous)
+        model._n_updates = int(payload["n_updates"])
+        return model
+
     def is_row_stochastic(self, atol: float = 1e-8) -> bool:
         """Invariant check: both matrices keep unit row sums."""
         if self._transition.size == 0:

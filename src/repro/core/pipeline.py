@@ -115,6 +115,8 @@ class DetectionPipeline:
         self.observable_sequence: List[int] = []
         self.results: List[WindowResult] = []
         self._n_windows = 0
+        #: Non-finite per-sensor readings dropped by the input guard.
+        self.n_non_finite_dropped = 0
 
     # -- bootstrap ----------------------------------------------------------
 
@@ -144,10 +146,40 @@ class DetectionPipeline:
 
     # -- the per-window step ---------------------------------------------
 
+    def _sanitize(
+        self, window: ObservationWindow
+    ) -> "tuple[Dict[int, np.ndarray], Optional[np.ndarray]]":
+        """Per-sensor means and overall mean with non-finite readings dropped.
+
+        The collector already quarantines NaN/Inf messages, but windows
+        can also be built by the batch windowers or by hand; a single
+        non-finite reading must never reach the clusterer, where the
+        Eq. 6 convex update would poison a centroid irrecoverably.
+        """
+        per_sensor = window.per_sensor_mean()
+        if not self.config.drop_non_finite:
+            overall = window.overall_mean() if per_sensor else None
+            return per_sensor, overall
+        finite = {
+            sensor_id: vector
+            for sensor_id, vector in per_sensor.items()
+            if np.all(np.isfinite(vector))
+        }
+        self.n_non_finite_dropped += len(per_sensor) - len(finite)
+        if not finite:
+            return {}, None
+        rows = window.observations
+        finite_rows = rows[np.all(np.isfinite(rows), axis=1)]
+        if finite_rows.shape[0] == rows.shape[0]:
+            overall = window.overall_mean()
+        else:
+            overall = finite_rows.mean(axis=0)
+        return finite, overall
+
     def process_window(self, window: ObservationWindow) -> WindowResult:
         """Consume one observation window; returns what was derived."""
         self._n_windows += 1
-        per_sensor = window.per_sensor_mean()
+        per_sensor, overall_mean = self._sanitize(window)
         if not per_sensor:
             result = WindowResult(window_index=window.index, skipped=True)
             self.results.append(result)
@@ -155,12 +187,12 @@ class DetectionPipeline:
         if self.clusterer is None:
             self._bootstrap_clusterer(per_sensor)
         assert self.clusterer is not None
+        assert overall_mean is not None
 
         observations = np.vstack(
             [per_sensor[s] for s in sorted(per_sensor.keys())]
         )
         cluster_update = self.clusterer.update(observations)
-        overall_mean = window.overall_mean()
         self.clusterer.maybe_spawn(overall_mean)
         identification = identify_window(
             self.clusterer, per_sensor, overall_mean=overall_mean
@@ -204,6 +236,27 @@ class DetectionPipeline:
     ) -> List[WindowResult]:
         """Batch-feed a list of windows (trace-driven experiments)."""
         return [self.process_window(window) for window in windows]
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Versioned JSON-ready checkpoint of the full pipeline state.
+
+        See :mod:`repro.resilience.checkpoint`; ``restore(snapshot(p))``
+        continues the run with identical downstream diagnoses.
+        """
+        from ..resilience.checkpoint import snapshot as _snapshot
+
+        return _snapshot(self)
+
+    @classmethod
+    def restore(
+        cls, payload: Dict[str, object], config: "Optional[PipelineConfig]" = None
+    ) -> "DetectionPipeline":
+        """Rebuild a pipeline from a :meth:`snapshot` document."""
+        from ..resilience.checkpoint import restore as _restore
+
+        return _restore(payload, config=config)
 
     # -- state access -----------------------------------------------------
 

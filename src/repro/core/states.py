@@ -175,3 +175,39 @@ class StateSet:
     def labels(self) -> Dict[int, str]:
         """state_id -> ``(t,h)`` display label, for reports."""
         return {state.state_id: state.label() for state in self}
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the full set (states, aliases, id counter)."""
+        return {
+            "next_id": self._next_id,
+            "states": [
+                {
+                    "id": state.state_id,
+                    "vector": [float(x) for x in state.vector],
+                    "visits": state.visits,
+                }
+                for state in self
+            ],
+            "aliases": sorted(
+                [dropped, kept] for dropped, kept in self._aliases.items()
+            ),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "StateSet":
+        """Rebuild a set from :meth:`state_dict` output (inverse operation)."""
+        restored = cls()
+        for entry in payload["states"]:
+            state = ModelState(
+                state_id=int(entry["id"]),
+                vector=np.asarray(entry["vector"], dtype=float),
+                visits=int(entry["visits"]),
+            )
+            restored._states[state.state_id] = state
+        restored._aliases = {
+            int(dropped): int(kept) for dropped, kept in payload["aliases"]
+        }
+        restored._next_id = int(payload["next_id"])
+        return restored

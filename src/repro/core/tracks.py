@@ -70,6 +70,31 @@ class ErrorAttackTrack:
         disagreeing = sum(1 for _, e in self.symbols if e != BOTTOM_STATE_ID)
         return disagreeing / len(self.symbols)
 
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot including the track's ``M_CE`` model."""
+        return {
+            "track_id": self.track_id,
+            "sensor_id": self.sensor_id,
+            "opened_window": self.opened_window,
+            "closed_window": self.closed_window,
+            "symbols": [[c, e] for c, e in self.symbols],
+            "model": self.model.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "ErrorAttackTrack":
+        closed = payload["closed_window"]
+        return cls(
+            track_id=int(payload["track_id"]),
+            sensor_id=int(payload["sensor_id"]),
+            opened_window=int(payload["opened_window"]),
+            model=OnlineHMM.from_state_dict(payload["model"]),
+            closed_window=None if closed is None else int(closed),
+            symbols=[(int(c), int(e)) for c, e in payload["symbols"]],
+        )
+
 
 @dataclass
 class TrackManager:
@@ -154,3 +179,33 @@ class TrackManager:
     def n_tracks(self) -> int:
         """Total number of tracks ever opened."""
         return len(self.tracks)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of all tracks (open and closed)."""
+        return {
+            "transition_innovation": self.transition_innovation,
+            "emission_innovation": self.emission_innovation,
+            "tracks": [track.state_dict() for track in self.tracks],
+            "open": [
+                [sensor_id, track.track_id]
+                for sensor_id, track in sorted(self._open_by_sensor.items())
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: Dict[str, object]) -> "TrackManager":
+        manager = cls(
+            transition_innovation=float(payload["transition_innovation"]),
+            emission_innovation=float(payload["emission_innovation"]),
+        )
+        manager.tracks = [
+            ErrorAttackTrack.from_state_dict(entry) for entry in payload["tracks"]
+        ]
+        by_id = {track.track_id: track for track in manager.tracks}
+        manager._open_by_sensor = {
+            int(sensor_id): by_id[int(track_id)]
+            for sensor_id, track_id in payload["open"]
+        }
+        return manager

@@ -1,0 +1,42 @@
+"""Resilience subsystem: surviving infrastructure failures.
+
+The paper's detector runs *on-the-fly* on a collector node fed by lossy
+radio links; its windowing tolerates missed and corrupted packets
+(§4.1), but a production deployment must also survive failures of the
+*infrastructure itself* — collector crashes, bursty loss, duplicated and
+out-of-order packets, skewed clocks, non-finite readings.  This package
+provides the three pillars:
+
+* :mod:`repro.resilience.checkpoint` — versioned JSON
+  ``snapshot()``/``restore()`` of the full :class:`DetectionPipeline`
+  state, so a collector can crash mid-trace and resume with identical
+  downstream diagnoses.
+* :mod:`repro.resilience.chaos` — a :class:`ChaosCampaign` composing
+  infrastructure faults (Gilbert–Elliott bursty loss, per-link delay /
+  duplication / reordering, clock skew, collector kill + restart from
+  checkpoint) orthogonally to the :mod:`repro.faults` data corruptors,
+  and reporting graceful-degradation statistics.
+* Hardened ingest lives with the collector itself
+  (:mod:`repro.sensornet.collector` quarantines duplicate / late /
+  non-finite messages) and in the :mod:`repro.core` input guards.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
+from .chaos import ChaosCampaign, ChaosReport, ChaosSpec
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "ChaosCampaign",
+    "ChaosReport",
+    "ChaosSpec",
+    "load_checkpoint",
+    "restore",
+    "save_checkpoint",
+    "snapshot",
+]

@@ -1,0 +1,285 @@
+"""Infrastructure chaos campaigns (graceful-degradation harness).
+
+The :mod:`repro.faults` injectors corrupt the *data* a sensor reports;
+this module corrupts the *infrastructure* that carries and processes it.
+A :class:`ChaosCampaign` drives a full GDI-style deployment through:
+
+* **Gilbert–Elliott bursty loss** plus per-link delay / duplication /
+  reordering (see :class:`repro.sensornet.network.RadioLink`),
+* **clock-skewed motes** whose reports claim wrong sampling times,
+* **collector crashes** at scheduled windows, with restart from the
+  latest JSON checkpoint (buffered reports and un-checkpointed windows
+  die with the process),
+
+optionally composed with an ordinary data-corruption
+:class:`~repro.faults.campaign.CampaignSpec` — infra and data faults are
+orthogonal axes.  The campaign asserts *graceful degradation*: the
+pipeline must never raise; skipped/starved windows and quarantined
+packets are counted; detection still converges, just later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import PipelineConfig
+from ..core.pipeline import DetectionPipeline
+from ..faults.campaign import CampaignSpec
+from ..sensornet.collector import CollectorNode
+from ..sensornet.messages import SensorMessage
+from ..sensornet.network import GilbertElliottLoss, StarNetwork
+from ..sensornet.sensor import Mote
+from ..sensornet.simulator import NetworkSimulator
+from ..traces.gdi import GDITraceConfig, build_environment
+from .checkpoint import restore, snapshot
+
+
+@dataclass
+class ChaosSpec:
+    """Declarative description of one infrastructure chaos campaign.
+
+    All knobs default to a moderately hostile but survivable regime;
+    setting the impairment fields to zero and ``crash_at_windows`` to
+    empty degrades to a plain lossy-radio simulation.
+    """
+
+    #: Deployment length and workload seed.
+    n_days: int = 7
+    seed: int = 0
+    #: Bursty loss process template (copied per link); None falls back
+    #: to i.i.d. loss at ``loss_probability``.
+    burst: Optional[GilbertElliottLoss] = field(
+        default_factory=GilbertElliottLoss
+    )
+    #: i.i.d. per-packet loss used when ``burst`` is None.
+    loss_probability: float = 0.15
+    #: Chance an arriving packet is malformed (CRC failure).
+    corruption_probability: float = 0.01
+    #: Per-packet delay impairment; independent delays reorder streams.
+    delay_probability: float = 0.10
+    max_delay_minutes: float = 90.0
+    #: Chance a delivered packet arrives twice.
+    duplicate_probability: float = 0.05
+    #: sensor id -> clock skew in minutes (negative = clock runs late,
+    #: reports claim past timestamps and hit the late quarantine).
+    clock_skew_minutes: Dict[int, float] = field(default_factory=dict)
+    #: Window indices at which the collector process is killed and
+    #: restarted from its latest checkpoint.
+    crash_at_windows: Tuple[int, ...] = ()
+    #: Checkpoint cadence in windows (0 = only the implicit checkpoint
+    #: taken before the pipeline's first window).
+    checkpoint_every_windows: int = 5
+    #: Optional data-corruption plan composed with the infra faults.
+    data_campaign: Optional[CampaignSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0:
+            raise ValueError("n_days must be positive")
+        if self.checkpoint_every_windows < 0:
+            raise ValueError("checkpoint_every_windows must be non-negative")
+        for name in (
+            "loss_probability",
+            "corruption_probability",
+            "delay_probability",
+            "duplicate_probability",
+        ):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos campaign did to the deployment, and what survived.
+
+    ``n_exceptions == 0`` is the graceful-degradation contract: whatever
+    the infrastructure did, the pipeline itself never raised.
+    """
+
+    n_windows_emitted: int = 0
+    n_windows_processed: int = 0
+    n_windows_skipped: int = 0
+    n_windows_lost_to_crashes: int = 0
+    n_crashes: int = 0
+    n_checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    n_buffered_messages_lost: int = 0
+    n_in_flight_at_end: int = 0
+    n_exceptions: int = 0
+    delivery: Dict[str, int] = field(default_factory=dict)
+    system_anomaly: Optional[str] = None
+    sensor_anomalies: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def graceful(self) -> bool:
+        """True when the pipeline survived the whole campaign."""
+        return self.n_exceptions == 0
+
+    @property
+    def degradation_fraction(self) -> float:
+        """Fraction of emitted windows that yielded no identification."""
+        if self.n_windows_emitted == 0:
+            return 0.0
+        lost = self.n_windows_skipped + self.n_windows_lost_to_crashes
+        return lost / self.n_windows_emitted
+
+    def render(self) -> str:
+        """Plain-text summary for the CLI."""
+        lines = [
+            "chaos campaign report",
+            f"  windows: {self.n_windows_emitted} emitted, "
+            f"{self.n_windows_processed} processed, "
+            f"{self.n_windows_skipped} skipped, "
+            f"{self.n_windows_lost_to_crashes} lost to crashes",
+            f"  crashes: {self.n_crashes} "
+            f"(restored from {self.n_checkpoints} checkpoints, "
+            f"last checkpoint {self.checkpoint_bytes} bytes, "
+            f"{self.n_buffered_messages_lost} buffered messages lost)",
+            f"  in flight at shutdown: {self.n_in_flight_at_end}",
+            f"  pipeline exceptions: {self.n_exceptions} "
+            f"({'graceful' if self.graceful else 'NOT graceful'})",
+            "  delivery: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.delivery.items())),
+            f"  degradation: {self.degradation_fraction:.1%} of windows unusable",
+            f"  system verdict: {self.system_anomaly}",
+        ]
+        if self.sensor_anomalies:
+            lines.append("  per-sensor verdicts:")
+            for sensor_id, anomaly in sorted(self.sensor_anomalies.items()):
+                lines.append(f"    sensor {sensor_id}: {anomaly}")
+        return "\n".join(lines)
+
+
+class ChaosCampaign:
+    """Runs one :class:`ChaosSpec` against a live simulated deployment.
+
+    The campaign owns the whole stack — environment, motes, impaired
+    star network, collector, pipeline — and emulates collector crashes
+    by discarding the live pipeline object and rebuilding it from the
+    latest checkpoint *through a JSON round-trip* (proving the
+    checkpoint really is serializable, not just a Python deep copy).
+    """
+
+    def __init__(
+        self, spec: Optional[ChaosSpec] = None, config: Optional[PipelineConfig] = None
+    ):
+        self.spec = spec or ChaosSpec()
+        self.config = config or PipelineConfig()
+
+    def _build_simulator(self) -> NetworkSimulator:
+        spec = self.spec
+        trace_config = GDITraceConfig(n_days=spec.n_days, seed=spec.seed)
+        environment = build_environment(trace_config)
+        sensor_ids = list(range(self.config.n_sensors))
+        motes = [
+            Mote(sensor_id=sensor_id, environment=environment, seed=spec.seed)
+            for sensor_id in sensor_ids
+        ]
+        network = StarNetwork.impaired(
+            sensor_ids,
+            loss_probability=spec.loss_probability,
+            corruption_probability=spec.corruption_probability,
+            burst=spec.burst,
+            delay_probability=spec.delay_probability,
+            max_delay_minutes=spec.max_delay_minutes,
+            duplicate_probability=spec.duplicate_probability,
+            seed=spec.seed,
+        )
+        collector = CollectorNode(window_minutes=self.config.window_minutes)
+        injector = (
+            spec.data_campaign.build_injector(environment)
+            if spec.data_campaign is not None
+            else None
+        )
+
+        def corruption(message: SensorMessage) -> Optional[SensorMessage]:
+            if injector is not None:
+                message = injector(message)
+                if message is None:
+                    return None
+            skew = spec.clock_skew_minutes.get(message.sensor_id)
+            if skew:
+                message = message.shifted(skew)
+            return message
+
+        return NetworkSimulator(
+            environment=environment,
+            motes=motes,
+            collector=collector,
+            network=network,
+            sample_period_minutes=self.config.sample_period_minutes,
+            corruption=corruption,
+        )
+
+    def run(self) -> "tuple[ChaosReport, DetectionPipeline]":
+        """Execute the campaign; returns the report and final pipeline."""
+        spec = self.spec
+        report = ChaosReport()
+        simulator = self._build_simulator()
+        pipeline = DetectionPipeline(self.config)
+
+        # The implicit day-zero checkpoint: even a crash in the very
+        # first window has something to restore from.
+        checkpoint_json = json.dumps(snapshot(pipeline), sort_keys=True)
+        report.n_checkpoints = 1
+        pending_crashes = set(spec.crash_at_windows)
+        state = {"pipeline": pipeline, "checkpoint": checkpoint_json}
+
+        def on_window(window) -> None:
+            report.n_windows_emitted += 1
+            current = state["pipeline"]
+            if window.index in pending_crashes:
+                pending_crashes.discard(window.index)
+                report.n_crashes += 1
+                # The crash destroys the in-memory pipeline, the window
+                # being handed over, and every report still buffered at
+                # the collector.
+                report.n_buffered_messages_lost += simulator.collector.drop_buffer()
+                restored = restore(json.loads(state["checkpoint"]))
+                report.n_windows_lost_to_crashes += 1 + max(
+                    current.n_windows - restored.n_windows, 0
+                )
+                state["pipeline"] = restored
+                return
+            try:
+                result = current.process_window(window)
+            except Exception:
+                report.n_exceptions += 1
+                return
+            report.n_windows_processed += 1
+            if result.skipped:
+                report.n_windows_skipped += 1
+            cadence = spec.checkpoint_every_windows
+            if cadence and current.n_windows % cadence == 0:
+                state["checkpoint"] = json.dumps(
+                    snapshot(current), sort_keys=True
+                )
+                report.n_checkpoints += 1
+
+        duration = spec.n_days * 24 * 60.0
+        simulation = simulator.run(duration, on_window=on_window)
+
+        pipeline = state["pipeline"]
+        report.n_in_flight_at_end = simulation.n_in_flight_at_end
+        report.checkpoint_bytes = len(state["checkpoint"])
+        report.delivery = simulator.collector.stats.as_dict()
+        try:
+            if pipeline.results or pipeline.n_windows:
+                diagnosis = pipeline.system_diagnosis()
+                report.system_anomaly = diagnosis.anomaly_type.value
+                report.sensor_anomalies = {
+                    sensor_id: d.anomaly_type.value
+                    for sensor_id, d in pipeline.diagnose_all().items()
+                }
+        except ValueError:
+            # No window ever carried data (total blackout campaign).
+            report.system_anomaly = None
+        return report, pipeline
+
+
+def run_chaos(
+    spec: Optional[ChaosSpec] = None, config: Optional[PipelineConfig] = None
+) -> "tuple[ChaosReport, DetectionPipeline]":
+    """Convenience wrapper: build and run one chaos campaign."""
+    return ChaosCampaign(spec, config).run()

@@ -20,7 +20,7 @@ from .environment import (
     PiecewiseRegimeEnvironment,
 )
 from .messages import DeliveryRecord, MalformedMessage, SensorMessage
-from .network import RadioLink, StarNetwork
+from .network import GilbertElliottLoss, RadioLink, StarNetwork
 from .sensor import BatteryModel, Mote
 from .simulator import NetworkSimulator, SimulationReport
 from .topology import Deployment, MotePlacement
@@ -34,6 +34,7 @@ __all__ = [
     "Deployment",
     "EnvironmentModel",
     "GDIDiurnalEnvironment",
+    "GilbertElliottLoss",
     "MINUTES_PER_DAY",
     "MalformedMessage",
     "Mote",

@@ -4,12 +4,20 @@ Implements the paper's Eq. 1 windowing: observations are partitioned into
 sets ``O_i = { p | <t, p> in O  and  w*(i-1) <= t <= w*i }`` where ``w``
 is the window duration.  The collector also keeps delivery statistics
 (lost / malformed / accepted), which the experiments report.
+
+The ingest path is *hardened* against degraded infrastructure: packets
+that arrive duplicated (radio retransmissions), late (delayed past their
+window's emission or clock-skewed into the past), or carrying non-finite
+attribute values are quarantined — counted per category in
+:class:`DeliveryStats` and kept out of the observation windows — so the
+detection pipeline never sees them.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -34,12 +42,22 @@ class ObservationWindow:
     start_minutes: float
     end_minutes: float
     messages: tuple
+    #: Attribute dimensionality, used to shape the observation matrix of
+    #: *empty* windows consistently as ``(0, n_attributes)``.  Callers
+    #: that cannot know the width (hand-built empty fixtures) may leave
+    #: the default; non-empty windows infer the width from the messages.
+    n_attributes: int = 0
 
     @property
     def observations(self) -> np.ndarray:
-        """``(N, n_attributes)`` matrix of the attribute vectors."""
+        """``(N, n_attributes)`` matrix of the attribute vectors.
+
+        Empty windows yield shape ``(0, n_attributes)`` — not ``(0, 0)``
+        — so downstream column-wise code (means, vstack with neighbour
+        windows) works uniformly across gaps.
+        """
         if not self.messages:
-            return np.zeros((0, 0))
+            return np.zeros((0, self.n_attributes))
         return np.vstack([m.vector for m in self.messages])
 
     @property
@@ -90,16 +108,30 @@ class ObservationWindow:
 
 @dataclass
 class DeliveryStats:
-    """Running counts of what the collector received."""
+    """Running counts of what the collector received.
+
+    ``accepted``/``malformed``/``lost`` reproduce the paper's delivery
+    bookkeeping; the remaining categories count *quarantined* packets —
+    ones that arrived parseable but were rejected by the hardened ingest
+    path (duplicates, late/out-of-order arrivals, non-finite readings).
+    """
 
     accepted: int = 0
     malformed: int = 0
     lost: int = 0
+    duplicate: int = 0
+    late: int = 0
+    non_finite: int = 0
+
+    @property
+    def quarantined(self) -> int:
+        """Parseable packets rejected by the hardened ingest path."""
+        return self.duplicate + self.late + self.non_finite
 
     @property
     def attempted(self) -> int:
         """Total transmissions the motes attempted."""
-        return self.accepted + self.malformed + self.lost
+        return self.accepted + self.malformed + self.lost + self.quarantined
 
     @property
     def acceptance_rate(self) -> float:
@@ -107,6 +139,17 @@ class DeliveryStats:
         if self.attempted == 0:
             return 0.0
         return self.accepted / self.attempted
+
+    def as_dict(self) -> Dict[str, int]:
+        """Per-category counts, for reports and chaos-campaign summaries."""
+        return {
+            "accepted": self.accepted,
+            "malformed": self.malformed,
+            "lost": self.lost,
+            "duplicate": self.duplicate,
+            "late": self.late,
+            "non_finite": self.non_finite,
+        }
 
 
 @dataclass
@@ -122,12 +165,34 @@ class CollectorNode:
 
     window_minutes: float = 60.0
     stats: DeliveryStats = field(default_factory=DeliveryStats)
+    #: When False, the duplicate/late/non-finite quarantine is bypassed
+    #: (pure paper-faithful Eq. 1 behaviour).
+    harden_ingest: bool = True
     _buffer: List[SensorMessage] = field(default_factory=list, repr=False)
     _next_window_index: int = field(default=1, repr=False)
+    _seen_keys: Dict[int, Set[Tuple[float, int]]] = field(
+        default_factory=dict, repr=False
+    )
+    _n_attributes: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.window_minutes <= 0:
             raise ValueError("window_minutes must be positive")
+
+    def _quarantine_reason(self, message: SensorMessage) -> Optional[str]:
+        """Why ``message`` must not enter a window (None = accept)."""
+        if not all(math.isfinite(x) for x in message.attributes):
+            return "non_finite"
+        if message.timestamp < self.window_minutes * (self._next_window_index - 1):
+            # Its window was already emitted (delayed delivery or a
+            # clock skewed into the past); admitting it would silently
+            # corrupt nothing — it would be dropped later — but counting
+            # it here makes the degradation observable.
+            return "late"
+        key = (message.timestamp, message.sequence_number)
+        if key in self._seen_keys.get(message.sensor_id, ()):
+            return "duplicate"
+        return None
 
     def receive(self, record: DeliveryRecord) -> None:
         """Account for one delivery attempt."""
@@ -138,8 +203,18 @@ class CollectorNode:
             self.stats.malformed += 1
             return
         assert record.message is not None
+        message = record.message
+        if self.harden_ingest:
+            reason = self._quarantine_reason(message)
+            if reason is not None:
+                setattr(self.stats, reason, getattr(self.stats, reason) + 1)
+                return
+            self._seen_keys.setdefault(message.sensor_id, set()).add(
+                (message.timestamp, message.sequence_number)
+            )
         self.stats.accepted += 1
-        self._buffer.append(record.message)
+        self._n_attributes = message.n_attributes
+        self._buffer.append(message)
 
     def receive_message(self, message: SensorMessage) -> None:
         """Accept a message directly (bypassing the radio model)."""
@@ -167,9 +242,19 @@ class CollectorNode:
                     start_minutes=start,
                     end_minutes=end,
                     messages=tuple(in_window),
+                    n_attributes=self._n_attributes,
                 )
             )
             self._next_window_index += 1
+        if completed:
+            # Keys older than the emission horizon can never be accepted
+            # again (the late guard fires first), so the dedup memory
+            # stays bounded by one window of traffic per sensor.
+            horizon = self.window_minutes * (self._next_window_index - 1)
+            for sensor_id, keys in self._seen_keys.items():
+                self._seen_keys[sensor_id] = {
+                    key for key in keys if key[0] >= horizon
+                }
         return completed
 
     def flush(self) -> Optional[ObservationWindow]:
@@ -182,10 +267,23 @@ class CollectorNode:
             start_minutes=start,
             end_minutes=end,
             messages=tuple(self._buffer),
+            n_attributes=self._n_attributes,
         )
         self._buffer = []
         self._next_window_index += 1
         return window
+
+    def drop_buffer(self) -> int:
+        """Discard all buffered (not yet windowed) messages; returns count.
+
+        Models a collector crash: reports that arrived after the last
+        emitted window die with the process.  Window indexing is
+        preserved so a restarted collector keeps emitting aligned
+        windows.
+        """
+        dropped = len(self._buffer)
+        self._buffer = []
+        return dropped
 
 
 def windows_from_messages(

@@ -67,6 +67,21 @@ class SensorMessage:
             sequence_number=self.sequence_number,
         )
 
+    def shifted(self, minutes: float) -> "SensorMessage":
+        """Return a copy with the timestamp shifted by ``minutes``.
+
+        The chaos harness uses this to model a mote with a skewed clock:
+        the report's *content* is honest but its claimed sampling time is
+        wrong, which lands it in the wrong observation window (or in the
+        collector's late-message quarantine for skews into the past).
+        """
+        return SensorMessage(
+            sensor_id=self.sensor_id,
+            timestamp=self.timestamp + minutes,
+            attributes=self.attributes,
+            sequence_number=self.sequence_number,
+        )
+
 
 @dataclass(frozen=True)
 class MalformedMessage:
@@ -94,12 +109,21 @@ class DeliveryRecord:
         The malformed stand-in, when the packet arrived corrupted.
     lost:
         True when the packet never reached the collector.
+    arrival_minutes:
+        When the packet reaches the collector, for links with delay
+        impairments; ``None`` means immediate delivery.  Distinct
+        arrival times across packets are what produce reordering.
+    duplicate:
+        True when this record is a radio-level retransmission copy of a
+        packet that was already counted once.
     """
 
     message: Optional[SensorMessage] = None
     malformed: Optional[MalformedMessage] = None
     lost: bool = False
     link_quality: float = field(default=1.0)
+    arrival_minutes: Optional[float] = None
+    duplicate: bool = False
 
     @property
     def delivered_ok(self) -> bool:

@@ -6,16 +6,83 @@ hundred sensor readings in average, as not all sensor data can be used
 due to missed or corrupted packets", §4.1).  This module models a
 single-hop star network — the topology the GDI outside motes used to
 reach their base station — with per-link loss and corruption processes.
+
+Beyond the i.i.d. loss the paper assumes, real links degrade in
+*bursts* and deliver packets late, twice, or out of order.  Links can
+therefore carry optional impairments: a :class:`GilbertElliottLoss`
+two-state burst process, uniform random delay (whose per-packet
+variation produces reordering at the collector), and probabilistic
+duplication.  :meth:`RadioLink.transmit_all` exposes these; the plain
+:meth:`RadioLink.transmit` path is byte-for-byte unchanged when no
+impairment is configured, so calibrated experiments are unaffected.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from .messages import DeliveryRecord, MalformedMessage, SensorMessage
+
+
+@dataclass
+class GilbertElliottLoss:
+    """Two-state (good/bad) Markov loss process — bursty packet loss.
+
+    The classic Gilbert–Elliott channel: the link flips between a good
+    state with low loss and a bad state with high loss; dwell times are
+    geometric, producing the loss *bursts* observed on real sensor-net
+    radios (and studied for windowed detectors, e.g. arXiv:1710.02573).
+
+    Parameters
+    ----------
+    p_good_to_bad / p_bad_to_good:
+        Per-packet transition probabilities between the two states.
+    loss_good / loss_bad:
+        Loss probability while in each state.
+    start_bad:
+        Initial channel state.
+    """
+
+    p_good_to_bad: float = 0.02
+    p_bad_to_good: float = 0.25
+    loss_good: float = 0.05
+    loss_bad: float = 0.80
+    start_bad: bool = False
+    _bad: bool = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self._bad = self.start_bad
+
+    @property
+    def in_bad_state(self) -> bool:
+        """True while the channel is in its bursty-loss state."""
+        return self._bad
+
+    @property
+    def expected_loss(self) -> float:
+        """Stationary loss rate of the chain (for quality estimates)."""
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator == 0.0:
+            return self.loss_bad if self._bad else self.loss_good
+        bad_fraction = self.p_good_to_bad / denominator
+        return bad_fraction * self.loss_bad + (1.0 - bad_fraction) * self.loss_good
+
+    def next_loss_probability(self, rng: np.random.Generator) -> float:
+        """Advance the chain one packet and return the current loss rate."""
+        flip = rng.random()
+        if self._bad:
+            if flip < self.p_bad_to_good:
+                self._bad = False
+        elif flip < self.p_good_to_bad:
+            self._bad = True
+        return self.loss_bad if self._bad else self.loss_good
 
 
 @dataclass
@@ -25,34 +92,64 @@ class RadioLink:
     Parameters
     ----------
     loss_probability:
-        Chance that a transmitted packet never arrives.
+        Chance that a transmitted packet never arrives (ignored when a
+        ``burst`` process is attached — the burst chain then governs
+        loss).
     corruption_probability:
         Chance that an *arriving* packet is malformed and must be
         discarded by the collector's parser.
+    burst:
+        Optional Gilbert–Elliott burst-loss process replacing the
+        i.i.d. loss model.
+    delay_probability / max_delay_minutes:
+        Chance that a delivered packet is delayed, and the uniform upper
+        bound of that delay.  Independent per-packet delays reorder the
+        stream at the collector.
+    duplicate_probability:
+        Chance that a delivered packet is also delivered a second time
+        (link-layer retransmission with a lost ACK).
     seed:
         Per-link RNG seed.
     """
 
     loss_probability: float = 0.15
     corruption_probability: float = 0.01
+    burst: Optional[GilbertElliottLoss] = None
+    delay_probability: float = 0.0
+    max_delay_minutes: float = 0.0
+    duplicate_probability: float = 0.0
     seed: int = 0
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        for name in ("loss_probability", "corruption_probability"):
+        for name in (
+            "loss_probability",
+            "corruption_probability",
+            "delay_probability",
+            "duplicate_probability",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
+        if self.max_delay_minutes < 0:
+            raise ValueError("max_delay_minutes must be non-negative")
         self._rng = np.random.default_rng(self.seed)
 
     @property
     def quality(self) -> float:
         """Expected end-to-end delivery rate of parseable packets."""
-        return (1.0 - self.loss_probability) * (1.0 - self.corruption_probability)
+        loss = (
+            self.loss_probability if self.burst is None else self.burst.expected_loss
+        )
+        return (1.0 - loss) * (1.0 - self.corruption_probability)
 
     def transmit(self, message: SensorMessage) -> DeliveryRecord:
         """Attempt delivery of ``message``; returns what the collector saw."""
-        if self._rng.random() < self.loss_probability:
+        if self.burst is None:
+            loss_probability = self.loss_probability
+        else:
+            loss_probability = self.burst.next_loss_probability(self._rng)
+        if self._rng.random() < loss_probability:
             return DeliveryRecord(lost=True, link_quality=self.quality)
         if self._rng.random() < self.corruption_probability:
             malformed = MalformedMessage(
@@ -62,6 +159,44 @@ class RadioLink:
             )
             return DeliveryRecord(malformed=malformed, link_quality=self.quality)
         return DeliveryRecord(message=message, link_quality=self.quality)
+
+    def _maybe_delay(self, record: DeliveryRecord, now_minutes: float) -> None:
+        if (
+            record.message is not None
+            and self.delay_probability > 0.0
+            and self._rng.random() < self.delay_probability
+        ):
+            record.arrival_minutes = now_minutes + self._rng.uniform(
+                0.0, self.max_delay_minutes
+            )
+
+    def transmit_all(
+        self, message: SensorMessage, now_minutes: Optional[float] = None
+    ) -> List[DeliveryRecord]:
+        """Attempt delivery including delay/duplication impairments.
+
+        Returns one record per copy that the channel produced (one, or
+        two when the packet was duplicated).  Delayed copies carry
+        ``arrival_minutes``; the simulator holds them in flight until
+        then.  With no impairments configured this draws exactly the
+        same RNG stream as :meth:`transmit`, so enabling the richer API
+        does not perturb calibrated loss patterns.
+        """
+        now = message.timestamp if now_minutes is None else now_minutes
+        records = [self.transmit(message)]
+        if (
+            self.duplicate_probability > 0.0
+            and records[0].message is not None
+            and self._rng.random() < self.duplicate_probability
+        ):
+            records.append(
+                DeliveryRecord(
+                    message=message, link_quality=self.quality, duplicate=True
+                )
+            )
+        for record in records:
+            self._maybe_delay(record, now)
+        return records
 
 
 @dataclass
@@ -94,6 +229,49 @@ class StarNetwork:
         }
         return cls(links=links)
 
+    @classmethod
+    def impaired(
+        cls,
+        sensor_ids,
+        loss_probability: float = 0.15,
+        corruption_probability: float = 0.01,
+        burst: Optional[GilbertElliottLoss] = None,
+        delay_probability: float = 0.0,
+        max_delay_minutes: float = 0.0,
+        duplicate_probability: float = 0.0,
+        seed: int = 0,
+    ) -> "StarNetwork":
+        """Build a star whose links share a full impairment profile.
+
+        Like :meth:`homogeneous` but with burst loss, delay/reordering,
+        and duplication; each link still gets an independent RNG stream
+        and its own copy of the burst chain (bursts are per-link events,
+        uncorrelated across motes).
+        """
+        links = {}
+        for sensor_id in sensor_ids:
+            link_burst = (
+                None
+                if burst is None
+                else GilbertElliottLoss(
+                    p_good_to_bad=burst.p_good_to_bad,
+                    p_bad_to_good=burst.p_bad_to_good,
+                    loss_good=burst.loss_good,
+                    loss_bad=burst.loss_bad,
+                    start_bad=burst.start_bad,
+                )
+            )
+            links[sensor_id] = RadioLink(
+                loss_probability=loss_probability,
+                corruption_probability=corruption_probability,
+                burst=link_burst,
+                delay_probability=delay_probability,
+                max_delay_minutes=max_delay_minutes,
+                duplicate_probability=duplicate_probability,
+                seed=int(seed) * 100_003 + int(sensor_id),
+            )
+        return cls(links=links)
+
     def transmit(self, message: SensorMessage) -> DeliveryRecord:
         """Route ``message`` over its mote's link.
 
@@ -104,3 +282,12 @@ class StarNetwork:
         if link is None:
             return DeliveryRecord(message=message, link_quality=1.0)
         return link.transmit(message)
+
+    def transmit_all(
+        self, message: SensorMessage, now_minutes: Optional[float] = None
+    ) -> List[DeliveryRecord]:
+        """Route ``message`` with delay/duplication impairments applied."""
+        link = self.links.get(message.sensor_id)
+        if link is None:
+            return [DeliveryRecord(message=message, link_quality=1.0)]
+        return link.transmit_all(message, now_minutes=now_minutes)

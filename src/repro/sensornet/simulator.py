@@ -11,12 +11,13 @@ windows are handed to a sink callback — normally the detection pipeline.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .collector import CollectorNode, ObservationWindow
 from .environment import EnvironmentModel
-from .messages import SensorMessage
+from .messages import DeliveryRecord, SensorMessage
 from .network import StarNetwork
 from .sensor import Mote
 
@@ -32,6 +33,9 @@ class SimulationReport:
     windows: List[ObservationWindow] = field(default_factory=list)
     n_ticks: int = 0
     end_minutes: float = 0.0
+    #: Delayed packets still in flight when the run ended (never
+    #: delivered — the simulated deployment shut down first).
+    n_in_flight_at_end: int = 0
 
 
 @dataclass
@@ -61,6 +65,12 @@ class NetworkSimulator:
     network: Optional[StarNetwork] = None
     sample_period_minutes: float = 5.0
     corruption: Optional[CorruptionStage] = None
+    #: Min-heap of ``(arrival_minutes, tiebreak, record)`` for packets a
+    #: delayed link has not yet delivered.
+    _in_flight: List[Tuple[float, int, DeliveryRecord]] = field(
+        default_factory=list, repr=False
+    )
+    _in_flight_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.sample_period_minutes <= 0:
@@ -68,14 +78,34 @@ class NetworkSimulator:
         if not self.motes:
             raise ValueError("need at least one mote")
 
-    def _deliver(self, message: SensorMessage) -> None:
+    def _deliver(self, message: SensorMessage, now_minutes: float) -> None:
         if self.network is None:
             self.collector.receive_message(message)
-        else:
-            self.collector.receive(self.network.transmit(message))
+            return
+        for record in self.network.transmit_all(message, now_minutes=now_minutes):
+            if record.arrival_minutes is None or record.arrival_minutes <= now_minutes:
+                self.collector.receive(record)
+            else:
+                heapq.heappush(
+                    self._in_flight,
+                    (record.arrival_minutes, self._in_flight_counter, record),
+                )
+                self._in_flight_counter += 1
+
+    def _deliver_due(self, now_minutes: float) -> None:
+        """Hand over every in-flight packet whose arrival time has come."""
+        while self._in_flight and self._in_flight[0][0] <= now_minutes:
+            _, _, record = heapq.heappop(self._in_flight)
+            self.collector.receive(record)
+
+    @property
+    def n_in_flight(self) -> int:
+        """Delayed packets currently between link and collector."""
+        return len(self._in_flight)
 
     def tick(self, minutes: float) -> None:
         """Run one sampling round at simulation time ``minutes``."""
+        self._deliver_due(minutes)
         for mote in self.motes:
             message = mote.sample(minutes)
             if message is None:
@@ -84,7 +114,7 @@ class NetworkSimulator:
                 message = self.corruption(message)
                 if message is None:
                     continue
-            self._deliver(message)
+            self._deliver(message, minutes)
 
     def run(
         self,
@@ -119,4 +149,5 @@ class NetworkSimulator:
                 if on_window is not None:
                     on_window(window)
         report.end_minutes = minutes
+        report.n_in_flight_at_end = len(self._in_flight)
         return report

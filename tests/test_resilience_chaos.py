@@ -1,0 +1,311 @@
+"""Infrastructure chaos: Gilbert-Elliott burst loss, delay/duplication/
+reordering impairments, the simulator's in-flight queue, and end-to-end
+ChaosCampaign graceful-degradation runs."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.resilience import ChaosCampaign, ChaosReport, ChaosSpec
+from repro.resilience.chaos import run_chaos
+from repro.sensornet import (
+    CollectorNode,
+    ConstantEnvironment,
+    GilbertElliottLoss,
+    Mote,
+    NetworkSimulator,
+    RadioLink,
+    SensorMessage,
+    StarNetwork,
+)
+
+
+def message(sensor_id=0, timestamp=1.0, seq=0):
+    return SensorMessage(
+        sensor_id=sensor_id,
+        timestamp=timestamp,
+        attributes=(20.0, 75.0),
+        sequence_number=seq,
+    )
+
+
+class TestGilbertElliott:
+    def test_stationary_expected_loss(self):
+        burst = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, loss_good=0.0, loss_bad=0.8
+        )
+        # bad-state fraction = 0.1 / (0.1 + 0.3) = 0.25
+        assert burst.expected_loss == pytest.approx(0.25 * 0.8)
+
+    def test_frozen_chain_uses_current_state(self):
+        burst = GilbertElliottLoss(
+            p_good_to_bad=0.0, p_bad_to_good=0.0, loss_bad=0.9, start_bad=True
+        )
+        assert burst.expected_loss == pytest.approx(0.9)
+
+    def test_chain_visits_both_states(self):
+        burst = GilbertElliottLoss(p_good_to_bad=0.3, p_bad_to_good=0.3)
+        rng = np.random.default_rng(0)
+        states = set()
+        for _ in range(200):
+            burst.next_loss_probability(rng)
+            states.add(burst.in_bad_state)
+        assert states == {True, False}
+
+    def test_loss_rate_tracks_state(self):
+        burst = GilbertElliottLoss(
+            p_good_to_bad=1.0, p_bad_to_good=0.0, loss_good=0.1, loss_bad=0.7
+        )
+        rng = np.random.default_rng(0)
+        # First packet flips the chain into (and then keeps it in) bad.
+        assert burst.next_loss_probability(rng) == 0.7
+        assert burst.in_bad_state
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5)
+
+    def test_bursty_link_loses_in_bursts(self):
+        link = RadioLink(
+            corruption_probability=0.0,
+            burst=GilbertElliottLoss(
+                p_good_to_bad=0.05,
+                p_bad_to_good=0.2,
+                loss_good=0.0,
+                loss_bad=1.0,
+            ),
+            seed=3,
+        )
+        outcomes = [link.transmit(message(timestamp=t)).lost for t in range(500)]
+        # Losses must exist and cluster: the count of loss *runs* is far
+        # below the count of losses for a bursty process.
+        n_lost = sum(outcomes)
+        runs = sum(
+            1
+            for i, lost in enumerate(outcomes)
+            if lost and (i == 0 or not outcomes[i - 1])
+        )
+        assert n_lost > 20
+        assert runs < n_lost
+
+
+class TestImpairedLink:
+    def test_no_impairments_matches_plain_transmit(self):
+        """transmit_all with no impairments must consume the identical
+        RNG stream as transmit — calibrated loss patterns stay intact."""
+        plain = RadioLink(loss_probability=0.3, corruption_probability=0.1, seed=11)
+        rich = RadioLink(loss_probability=0.3, corruption_probability=0.1, seed=11)
+        for t in range(300):
+            expected = plain.transmit(message(timestamp=float(t)))
+            records = rich.transmit_all(message(timestamp=float(t)), now_minutes=float(t))
+            assert len(records) == 1
+            actual = records[0]
+            assert actual.lost == expected.lost
+            assert (actual.malformed is None) == (expected.malformed is None)
+            assert actual.arrival_minutes is None
+            assert not actual.duplicate
+
+    def test_certain_duplication(self):
+        link = RadioLink(
+            loss_probability=0.0,
+            corruption_probability=0.0,
+            duplicate_probability=1.0,
+            seed=0,
+        )
+        records = link.transmit_all(message(), now_minutes=0.0)
+        assert len(records) == 2
+        assert not records[0].duplicate
+        assert records[1].duplicate
+        assert records[1].message == records[0].message
+
+    def test_lost_packet_is_not_duplicated(self):
+        link = RadioLink(
+            loss_probability=1.0,
+            duplicate_probability=1.0,
+            seed=0,
+        )
+        records = link.transmit_all(message(), now_minutes=0.0)
+        assert len(records) == 1
+        assert records[0].lost
+
+    def test_certain_delay_bounds(self):
+        link = RadioLink(
+            loss_probability=0.0,
+            corruption_probability=0.0,
+            delay_probability=1.0,
+            max_delay_minutes=30.0,
+            seed=0,
+        )
+        for t in range(50):
+            (record,) = link.transmit_all(message(timestamp=float(t)), now_minutes=float(t))
+            assert record.arrival_minutes is not None
+            assert t <= record.arrival_minutes <= t + 30.0
+
+    def test_quality_uses_burst_stationary_loss(self):
+        burst = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, loss_good=0.0, loss_bad=0.8
+        )
+        link = RadioLink(corruption_probability=0.0, burst=burst)
+        assert link.quality == pytest.approx(1.0 - burst.expected_loss)
+
+    def test_impaired_star_gives_each_link_its_own_burst_chain(self):
+        template = GilbertElliottLoss(start_bad=True)
+        network = StarNetwork.impaired([0, 1, 2], burst=template)
+        chains = {id(link.burst) for link in network.links.values()}
+        assert len(chains) == 3
+        assert all(link.burst.in_bad_state for link in network.links.values())
+
+    def test_impaired_star_unknown_mote_is_perfect(self):
+        network = StarNetwork.impaired([0], duplicate_probability=1.0)
+        records = network.transmit_all(message(sensor_id=99), now_minutes=0.0)
+        assert len(records) == 1
+        assert records[0].delivered_ok
+
+
+class TestSimulatorInFlight:
+    def _simulator(self, link):
+        environment = ConstantEnvironment()
+        motes = [Mote(sensor_id=0, environment=environment, seed=1)]
+        network = StarNetwork(links={0: link})
+        collector = CollectorNode(window_minutes=60.0)
+        return NetworkSimulator(
+            environment=environment,
+            motes=motes,
+            collector=collector,
+            network=network,
+            sample_period_minutes=5.0,
+        )
+
+    def test_delayed_packets_arrive_later(self):
+        link = RadioLink(
+            loss_probability=0.0,
+            corruption_probability=0.0,
+            delay_probability=1.0,
+            max_delay_minutes=20.0,
+            seed=2,
+        )
+        simulator = self._simulator(link)
+        simulator.tick(0.0)
+        assert simulator.n_in_flight == 1
+        assert simulator.collector.stats.accepted == 0
+        simulator.tick(25.0)  # all delays are <= 20 minutes
+        # The first packet has arrived; the packet sampled at t=25 is the
+        # only one still in flight.
+        assert simulator.n_in_flight == 1
+        assert simulator.collector.stats.accepted == 1
+
+    def test_run_reports_stragglers(self):
+        link = RadioLink(
+            loss_probability=0.0,
+            corruption_probability=0.0,
+            delay_probability=1.0,
+            max_delay_minutes=500.0,
+            seed=2,
+        )
+        simulator = self._simulator(link)
+        report = simulator.run(60.0)
+        assert report.n_in_flight_at_end > 0
+
+    def test_perfect_link_never_queues(self):
+        link = RadioLink(loss_probability=0.0, corruption_probability=0.0)
+        simulator = self._simulator(link)
+        report = simulator.run(120.0)
+        assert report.n_in_flight_at_end == 0
+        assert simulator.collector.stats.accepted == report.n_ticks
+
+
+class TestChaosSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(n_days=0)
+        with pytest.raises(ValueError):
+            ChaosSpec(delay_probability=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(checkpoint_every_windows=-1)
+
+    def test_report_defaults_are_graceful(self):
+        report = ChaosReport()
+        assert report.graceful
+        assert report.degradation_fraction == 0.0
+
+
+class TestChaosCampaign:
+    def test_campaign_with_crash_degrades_gracefully(self):
+        spec = ChaosSpec(
+            n_days=1,
+            seed=5,
+            crash_at_windows=(6,),
+            checkpoint_every_windows=2,
+            clock_skew_minutes={2: -120.0},
+        )
+        report, pipeline = run_chaos(spec)
+        assert report.graceful
+        assert report.n_windows_emitted == 24
+        assert report.n_crashes == 1
+        # Every emitted window is either processed or is the crash window
+        # itself; windows rolled back to the last checkpoint are counted
+        # as lost *in addition* to having been processed.
+        assert (
+            report.n_windows_processed + report.n_crashes
+            == report.n_windows_emitted
+        )
+        assert report.n_windows_lost_to_crashes >= report.n_crashes
+        assert report.n_checkpoints >= 2
+        assert report.checkpoint_bytes > 0
+        # The skewed mote's reports land in the late quarantine.
+        assert report.delivery["late"] > 0
+        assert report.delivery["duplicate"] > 0
+        assert 0.0 < report.degradation_fraction < 1.0
+        assert pipeline.n_windows > 0
+
+    def test_clean_infrastructure_quarantines_nothing(self):
+        spec = ChaosSpec(
+            n_days=1,
+            seed=5,
+            burst=None,
+            loss_probability=0.0,
+            corruption_probability=0.0,
+            delay_probability=0.0,
+            duplicate_probability=0.0,
+        )
+        report, _ = run_chaos(spec)
+        assert report.graceful
+        assert report.n_crashes == 0
+        assert report.delivery["late"] == 0
+        assert report.delivery["duplicate"] == 0
+        assert report.delivery["non_finite"] == 0
+        assert report.delivery["lost"] == 0
+        assert report.n_in_flight_at_end == 0
+        assert report.degradation_fraction == 0.0
+
+    def test_render_mentions_gracefulness(self):
+        spec = ChaosSpec(n_days=1, seed=5)
+        report, _ = run_chaos(spec)
+        text = report.render()
+        assert "graceful" in text
+        assert "delivery" in text
+
+    def test_cli_chaos_command(self, capsys):
+        exit_code = main(
+            [
+                "chaos",
+                "--days",
+                "1",
+                "--seed",
+                "5",
+                "--crash-at",
+                "8",
+                "--skew",
+                "1:-90",
+                "--checkpoint-every",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "chaos campaign report" in captured.out
+        assert "graceful" in captured.out
+
+    def test_cli_rejects_bad_skew(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--days", "1", "--skew", "nonsense"])
