@@ -52,8 +52,11 @@ def test_pipeline_window_throughput(benchmark):
     pipeline = benchmark(run)
     per_window_us = benchmark.stats["mean"] / len(windows) * 1e6
     print(f"\npipeline: {per_window_us:.0f} us/window over {len(windows)} windows")
-    # On-the-fly budget: a 1-hour window must take far less than 1 hour.
-    assert benchmark.stats["mean"] / len(windows) < 0.05
+    # Budget history: the scalar hot path ran ~614 us/window; the
+    # vectorized kernels brought it to ~190 us/window (BENCH_pipeline.json).
+    # 1 ms/window leaves ~5x headroom for slow CI runners while still
+    # catching a return to per-state Python loops.
+    assert benchmark.stats["mean"] / len(windows) < 0.001
     assert pipeline.n_windows == len(windows)
 
 

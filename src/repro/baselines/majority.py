@@ -58,11 +58,18 @@ class MajorityVoteDetector:
                 spawn_threshold=self.spawn_threshold,
                 merge_threshold=self.merge_threshold,
             )
-        self.clusterer.update(
-            np.vstack([per_sensor[s] for s in sorted(per_sensor)])
+        sensor_ids = sorted(per_sensor)
+        update = self.clusterer.update(
+            np.vstack([per_sensor[s] for s in sensor_ids])
         )
+        # The update already batch-assigned every sensor over the final
+        # state positions; reuse those instead of re-scanning per sensor.
+        assignment_of = dict(zip(sensor_ids, update.sensor_assignments))
         identification = identify_window(
-            self.clusterer, per_sensor, overall_mean=window.overall_mean()
+            self.clusterer,
+            per_sensor,
+            overall_mean=window.overall_mean(),
+            sensor_states={s: assignment_of[s] for s in per_sensor},
         )
         raw = {
             sensor_id: state != identification.correct_state

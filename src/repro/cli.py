@@ -9,6 +9,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro scenario clean --checkpoint state.json
     python -m repro sweep a1
     python -m repro chaos --days 7 --crash-at 40 --crash-at 90
+    python -m repro campaign clean stuck_at calibration --jobs 4
+    python -m repro bench
+    python -m repro bench --check --tolerance 0.3
 
 ``reproduce`` regenerates one paper table/figure and prints its ASCII
 rendering; ``scenario`` runs one standard corruption scenario and prints
@@ -16,7 +19,10 @@ the per-sensor diagnoses (``--checkpoint`` also writes a restorable
 pipeline checkpoint); ``sweep`` runs one ablation study; ``chaos`` runs
 an infrastructure chaos campaign (bursty loss, delay/reordering,
 duplication, clock skew, collector crash + checkpoint restart) and
-prints the degradation report.
+prints the degradation report; ``campaign`` fans several scenarios out
+across worker processes and prints one verdict line each; ``bench``
+times the hot kernels and writes (or, with ``--check``, verifies)
+``BENCH_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -148,6 +154,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="give one mote a skewed clock, e.g. --skew 2:-90 (repeatable)",
     )
 
+    campaign = sub.add_parser(
+        "campaign", help="run several scenarios across worker processes"
+    )
+    campaign.add_argument("names", nargs="+", choices=_SCENARIOS)
+    campaign.add_argument("--days", type=int, default=14)
+    campaign.add_argument("--seed", type=int, default=2003)
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes (0 = all cores, 1 = serial in-process)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="time the hot kernels / check for perf regressions"
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the existing JSON instead of overwriting it",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional slowdown before --check fails (default 0.30)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="benchmark JSON location (default BENCH_pipeline.json)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for the campaign timing (0 = all cores)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of repetitions per kernel",
+    )
+
     return parser
 
 
@@ -247,6 +299,40 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     return report.render()
 
 
+def _cmd_campaign(names: List[str], days: int, seed: int, jobs: int) -> str:
+    from .faults.campaign import run_campaigns_parallel
+
+    outcomes = run_campaigns_parallel(names, n_days=days, seed=seed, n_jobs=jobs)
+    lines = [
+        f"campaign: {len(outcomes)} scenarios, {days} days, seed {seed}, "
+        f"jobs {jobs if jobs else 'all'}"
+    ]
+    for outcome in outcomes:
+        flagged = ", ".join(
+            f"{sensor}:{kind}" for sensor, (_, kind, _) in
+            sorted(outcome.sensor_diagnoses.items())
+        ) or "none"
+        lines.append(
+            f"  {outcome.name}: system={outcome.system_diagnosis} "
+            f"sensors=[{flagged}] windows={outcome.n_windows}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_bench(args: argparse.Namespace) -> "tuple[str, int]":
+    from . import perf
+
+    return perf.bench_command(
+        output=args.output or perf.DEFAULT_OUTPUT,
+        check=args.check,
+        tolerance=(
+            perf.DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        ),
+        n_jobs=args.jobs,
+        repeats=args.repeats,
+    )
+
+
 def _cmd_sweep(sweep_id: str) -> str:
     result = _SWEEPS[sweep_id]()
     if isinstance(result, tuple):  # classification_matrix-style pairs
@@ -276,6 +362,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_sweep(args.id))
     elif args.command == "chaos":
         print(_cmd_chaos(args))
+    elif args.command == "campaign":
+        print(_cmd_campaign(args.names, args.days, args.seed, args.jobs))
+    elif args.command == "bench":
+        text, code = _cmd_bench(args)
+        print(text)
+        return code
     return 0
 
 

@@ -92,6 +92,12 @@ class PipelineConfig:
     #: chaos harness and the CLI, not by the pipeline itself.
     checkpoint_every_windows: int = 0
 
+    # --- execution -------------------------------------------------------
+    #: Worker processes for the parallel experiment runner; 0 means "all
+    #: available cores".  Only the fan-out harness reads this — a single
+    #: pipeline run is always one process.
+    n_jobs: int = 1
+
     def __post_init__(self) -> None:
         if self.n_sensors <= 0:
             raise ValueError("n_sensors must be positive")
@@ -109,6 +115,8 @@ class PipelineConfig:
             raise ValueError(f"filter_kind must be one of {FILTER_KINDS}")
         if self.checkpoint_every_windows < 0:
             raise ValueError("checkpoint_every_windows must be non-negative")
+        if self.n_jobs < 0:
+            raise ValueError("n_jobs must be non-negative (0 = all cores)")
 
     @property
     def window_minutes(self) -> float:

@@ -13,6 +13,17 @@ The module must "not split correct data into a number of small-size
 clusters" and should keep M small; the spawn/merge thresholds are the
 tuning knobs the paper alludes to but does not number — DESIGN.md §6
 records our defaults.
+
+:meth:`OnlineStateClusterer.update` is the pipeline's hot path and runs
+as a *one-pass* kernel: a single ``(N, M)`` distance matrix (from
+``StateSet.distances_to``) feeds the spawn checks and the Eq. 3
+assignments, the Eq. 6 group update is applied through the cached state
+matrix, and — when the caller supplies the window's overall mean — the
+final per-sensor assignments and the observable state are computed in
+one batched query over the post-update state set, so Eqs. 2–4 never
+re-scan the states.  Every decision (tie-breaks, spawn/merge order,
+update arithmetic) is bit-identical to the scalar reference
+implementation; ``tests/test_perf_kernels.py`` pins the equivalence.
 """
 
 from __future__ import annotations
@@ -38,11 +49,28 @@ class ClusterUpdate:
         Ids of states created for too-far observations.
     merged:
         ``(kept_id, dropped_id)`` pairs merged after the α update.
+    sensor_assignments:
+        Row index -> nearest state id over the *final* (post-Eq. 6,
+        post-merge, post-mean-spawn) state set — exactly what Eq. 3
+        yields when :func:`~repro.core.identification.identify_window`
+        runs after the update, so the pipeline can thread these through
+        instead of re-scanning the state set per sensor.
+    observable_state:
+        Eq. 2's ``o_i`` — nearest state to the window's overall mean
+        over the final state set.  ``None`` when no overall mean was
+        supplied to :meth:`OnlineStateClusterer.update`.
+    mean_spawned:
+        Id of the state spawned at the overall mean (coordinated attacks
+        can pull the network-wide mean off every sensor's position), or
+        ``None``.
     """
 
     assignments: List[int]
     spawned: List[int]
     merged: List["tuple[int, int]"]
+    sensor_assignments: List[int] = field(default_factory=list)
+    observable_state: Optional[int] = None
+    mean_spawned: Optional[int] = None
 
 
 class OnlineStateClusterer:
@@ -110,6 +138,13 @@ class OnlineStateClusterer:
         state, _ = self.states.nearest(point)
         return state.state_id
 
+    def assign_batch(self, points: np.ndarray) -> List[int]:
+        """Eq. 3 for every row of ``points`` in one batched kernel."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if not np.all(np.isfinite(points)):
+            raise ValueError("cannot assign a non-finite observation to a state")
+        return self.states.assign_batch(points)
+
     def resolve(self, state_id: int) -> int:
         """Follow merge aliases for an id issued in an earlier window."""
         return self.states.resolve(state_id)
@@ -117,11 +152,11 @@ class OnlineStateClusterer:
     def maybe_spawn(self, point: np.ndarray) -> Optional[int]:
         """Spawn a state at ``point`` if no existing state explains it.
 
-        Used by the pipeline for the window's *overall mean* (Eq. 2's
-        input): coordinated attacks can pull the network-wide mean to a
-        position no individual sensor reports, and the state set must be
-        able to describe that observable condition ("the module should
-        expand the current set of states when appropriate", §3.1).
+        Used for the window's *overall mean* (Eq. 2's input): coordinated
+        attacks can pull the network-wide mean to a position no
+        individual sensor reports, and the state set must be able to
+        describe that observable condition ("the module should expand the
+        current set of states when appropriate", §3.1).
         """
         point = np.asarray(point, dtype=float)
         if not np.all(np.isfinite(point)):
@@ -133,19 +168,30 @@ class OnlineStateClusterer:
 
     # -- the per-window update -------------------------------------------
 
-    def update(self, observations: np.ndarray) -> ClusterUpdate:
+    def update(
+        self,
+        observations: np.ndarray,
+        overall_mean: Optional[np.ndarray] = None,
+    ) -> ClusterUpdate:
         """Run one full clustering pass over a window's observations.
 
         Parameters
         ----------
         observations:
             ``(N, d)`` matrix; one row per observation source.
+        overall_mean:
+            The window's overall mean (Eq. 2's input).  When given, the
+            pass also performs the mean-spawn check and returns the final
+            per-row assignments plus the observable state computed over
+            the post-update state set, replicating exactly what a
+            subsequent ``maybe_spawn`` + ``identify_window`` pair used to
+            do in separate scans.
 
         Returns
         -------
         ClusterUpdate
             Assignments (by pre-update positions), spawned and merged
-            state ids.
+            state ids, and the post-update identification inputs.
         """
         observations = np.atleast_2d(np.asarray(observations, dtype=float))
         if observations.size == 0:
@@ -155,37 +201,112 @@ class OnlineStateClusterer:
             # through the Eq. 6 convex update; reject the window outright.
             raise ValueError("observations contain non-finite values")
 
-        spawned = self._spawn_far_observations(observations)
-        assignments = [self.assign(row) for row in observations]
+        # One (N, M) distance matrix against the pre-window states feeds
+        # both the sequential spawn checks and the Eq. 3 assignments.
+        base_distances, base_ids = self.states.distances_to(observations)
+        spawned = self._spawn_far_observations(observations, base_distances)
+        assignments = self._assign_with_spawned(
+            observations, base_distances, base_ids, spawned
+        )
         self._apply_learning_update(observations, assignments)
         merged = self._merge_close_states()
+
+        mean_spawned: Optional[int] = None
+        sensor_assignments: List[int] = []
+        observable_state: Optional[int] = None
+        if overall_mean is not None:
+            mean_spawned = self.maybe_spawn(overall_mean)
+            # Final Eq. 2/3 pass: one batched query over the settled
+            # state set for all sensors plus the overall mean.
+            points = np.vstack([observations, np.atleast_2d(overall_mean)])
+            final = self.states.assign_batch(points)
+            sensor_assignments = final[:-1]
+            observable_state = final[-1]
+        else:
+            sensor_assignments = self.states.assign_batch(observations)
+
         return ClusterUpdate(
-            assignments=[self.states.resolve(a) for a in assignments],
+            assignments=self.states.resolve_batch(assignments),
             spawned=spawned,
             merged=merged,
+            sensor_assignments=sensor_assignments,
+            observable_state=observable_state,
+            mean_spawned=mean_spawned,
         )
 
-    def _spawn_far_observations(self, observations: np.ndarray) -> List[int]:
-        """Create states for observations no existing state explains."""
+    def _spawn_far_observations(
+        self, observations: np.ndarray, base_distances: np.ndarray
+    ) -> List[int]:
+        """Create states for observations no existing state explains.
+
+        ``base_distances`` is the precomputed ``(N, M)`` matrix against
+        the pre-window states; only distances to states spawned *during*
+        this loop (rare) are computed incrementally, preserving the
+        scalar path's row-by-row semantics where an early spawn can
+        explain a later observation.
+        """
         spawned: List[int] = []
-        for row in observations:
-            _, distance = self.states.nearest(row)
+        spawned_vectors: List[np.ndarray] = []
+        min_base = (
+            base_distances.min(axis=1)
+            if base_distances.shape[1]
+            else np.full(observations.shape[0], np.inf)
+        )
+        for row_index, row in enumerate(observations):
+            distance = float(min_base[row_index])
+            if spawned_vectors:
+                diff = np.vstack(spawned_vectors) - row
+                distance = min(
+                    distance,
+                    float(np.sqrt(np.einsum("md,md->m", diff, diff)).min()),
+                )
             if distance > self.spawn_threshold and len(self.states) < self.max_states:
                 state = self.states.spawn(row)
                 spawned.append(state.state_id)
+                spawned_vectors.append(state.vector)
         return spawned
+
+    def _assign_with_spawned(
+        self,
+        observations: np.ndarray,
+        base_distances: np.ndarray,
+        base_ids: List[int],
+        spawned: List[int],
+    ) -> List[int]:
+        """Eq. 3 assignments over pre-update positions, reusing the base
+        distance matrix and appending columns for freshly spawned states.
+
+        Spawned ids are strictly larger than every pre-existing id, so
+        horizontally stacking their distance columns keeps the matrix in
+        id order and ``argmin``'s first-minimum tie-break identical to
+        the scalar scan.
+        """
+        if not spawned:
+            columns, ids = base_distances, base_ids
+        else:
+            spawned_matrix = np.vstack(
+                [self.states.get(state_id).vector for state_id in spawned]
+            )
+            diff = observations[:, None, :] - spawned_matrix[None, :, :]
+            spawned_distances = np.sqrt(np.einsum("nmd,nmd->nm", diff, diff))
+            columns = np.hstack([base_distances, spawned_distances])
+            ids = list(base_ids) + list(spawned)
+        return [ids[column] for column in np.argmin(columns, axis=1)]
 
     def _apply_learning_update(
         self, observations: np.ndarray, assignments: List[int]
     ) -> None:
         """Eq. 5 + Eq. 6: move each visited state toward its group mean."""
-        groups: Dict[int, List[np.ndarray]] = {}
-        for row, state_id in zip(observations, assignments):
-            groups.setdefault(state_id, []).append(row)
-        for state_id, members in groups.items():
+        groups: Dict[int, List[int]] = {}
+        for row_index, state_id in enumerate(assignments):
+            groups.setdefault(state_id, []).append(row_index)
+        for state_id, row_indices in groups.items():
             state = self.states.get(state_id)
-            group_mean = np.mean(np.vstack(members), axis=0)
-            state.vector = (1.0 - self.alpha) * state.vector + self.alpha * group_mean
+            group_mean = np.mean(observations[row_indices], axis=0)
+            self.states.update_vector(
+                state_id,
+                (1.0 - self.alpha) * state.vector + self.alpha * group_mean,
+            )
             state.visits += 1
 
     def _merge_close_states(self) -> List["tuple[int, int]"]:

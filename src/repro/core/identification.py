@@ -66,6 +66,9 @@ def identify_window(
     clusterer: OnlineStateClusterer,
     per_sensor: Dict[int, np.ndarray],
     overall_mean: Optional[np.ndarray] = None,
+    *,
+    sensor_states: Optional[Dict[int, int]] = None,
+    observable_state: Optional[int] = None,
 ) -> WindowIdentification:
     """Run Eqs. 2-4 for one window.
 
@@ -79,6 +82,14 @@ def identify_window(
         Mean over all raw readings in the window (Eq. 2's input, which
         weights sensors by delivered packets).  Falls back to the mean
         of the per-sensor means when omitted.
+    sensor_states / observable_state:
+        Precomputed Eq. 3 / Eq. 2 results, as produced by
+        :meth:`OnlineStateClusterer.update` over the same state set
+        (``ClusterUpdate.sensor_assignments`` keyed back to sensor ids,
+        and ``ClusterUpdate.observable_state``).  When supplied, the
+        corresponding state-set scans are skipped; they MUST come from
+        the post-update state positions or Eqs. 2-4 would silently use
+        stale geometry.
 
     Raises
     ------
@@ -87,25 +98,33 @@ def identify_window(
     """
     if not per_sensor:
         raise ValueError("cannot identify states for an empty window")
-    for sensor_id, vector in per_sensor.items():
-        if not np.all(np.isfinite(np.asarray(vector, dtype=float))):
-            raise ValueError(
-                f"sensor {sensor_id} observation is non-finite; "
-                "sanitize the window before identification"
-            )
+    if sensor_states is None:
+        # Precomputed assignments certify the vectors already passed
+        # through the clusterer's finiteness guard; only the scan path
+        # needs to re-validate.
+        for sensor_id, vector in per_sensor.items():
+            if not np.all(np.isfinite(np.asarray(vector, dtype=float))):
+                raise ValueError(
+                    f"sensor {sensor_id} observation is non-finite; "
+                    "sanitize the window before identification"
+                )
 
-    # Eq. 3: map each sensor's observation to its nearest model state.
-    sensor_states = {
-        sensor_id: clusterer.assign(vector)
-        for sensor_id, vector in per_sensor.items()
-    }
+    # Eq. 3: map each sensor's observation to its nearest model state
+    # (one batched kernel when not already computed by the clusterer).
+    if sensor_states is None:
+        sensor_ids = list(per_sensor.keys())
+        assigned = clusterer.assign_batch(
+            np.vstack([per_sensor[s] for s in sensor_ids])
+        )
+        sensor_states = dict(zip(sensor_ids, assigned))
 
     # Eq. 2: the observable state is the state nearest the global mean.
     if overall_mean is None:
         global_mean = np.mean(np.vstack(list(per_sensor.values())), axis=0)
     else:
         global_mean = np.asarray(overall_mean, dtype=float)
-    observable_state = clusterer.assign(global_mean)
+    if observable_state is None:
+        observable_state = clusterer.assign(global_mean)
 
     # Eq. 4: the correct state is the one hosting the largest cluster.
     counts = Counter(sensor_states.values())

@@ -98,11 +98,13 @@ class EmissionMatrix:
         if self.matrix.size == 0 or floor == 0.0:
             return self
         out = self.matrix.copy()
-        for row in range(out.shape[0]):
-            keep = out[row] >= floor
-            if not np.any(keep):
-                keep = out[row] == out[row].max()
-            out[row] = np.where(keep, out[row], 0.0)
+        keep = out >= floor
+        # Rows whose entries all fall below the floor keep their single
+        # largest entry (one masked pass instead of a per-row loop).
+        starved = ~keep.any(axis=1)
+        if np.any(starved):
+            keep[starved] = out[starved] == out[starved].max(axis=1, keepdims=True)
+        out = np.where(keep, out, 0.0)
         sums = out.sum(axis=1, keepdims=True)
         out = out / np.maximum(sums, 1e-300)
         return EmissionMatrix(
@@ -203,18 +205,23 @@ class OnlineHMM:
         j = self._ensure_state(hidden_state_id)
         l = self._ensure_symbol(symbol_id)
 
+        # Both updates run in place on the matrix rows: scaling by the
+        # retention factor then adding the innovation at the delta's
+        # index performs the exact same two roundings per entry as the
+        # textbook ``(1-rate)*row + rate*delta`` form, without allocating
+        # a one-hot delta vector per observation.
         if self._previous_state is not None:
             i = self._state_index[self._previous_state]
             if self._previous_state != hidden_state_id:
                 rate = self.transition_innovation
-                delta = np.zeros(self._transition.shape[1])
-                delta[j] = 1.0
-                self._transition[i] = (1.0 - rate) * self._transition[i] + rate * delta
+                row = self._transition[i]
+                row *= 1.0 - rate
+                row[j] += rate
 
         rate = self.emission_innovation
-        delta = np.zeros(self._emission.shape[1])
-        delta[l] = 1.0
-        self._emission[j] = (1.0 - rate) * self._emission[j] + rate * delta
+        row = self._emission[j]
+        row *= 1.0 - rate
+        row[l] += rate
 
         self._previous_state = hidden_state_id
         self._state_visits[hidden_state_id] += 1

@@ -160,10 +160,21 @@ class DetectionPipeline:
         if not self.config.drop_non_finite:
             overall = window.overall_mean() if per_sensor else None
             return per_sensor, overall
+        if not per_sensor:
+            return {}, None
+        # One vectorized finiteness check over the stacked means instead
+        # of a NumPy reduction per sensor.  A non-finite raw reading
+        # always makes its sensor's mean non-finite (NaN/Inf propagate
+        # through the sum), so an all-finite mean matrix certifies the
+        # whole window and the raw rows need no second look.
+        means = np.vstack(list(per_sensor.values()))
+        finite_mask = np.isfinite(means).all(axis=1)
+        if finite_mask.all():
+            return per_sensor, window.overall_mean()
         finite = {
             sensor_id: vector
-            for sensor_id, vector in per_sensor.items()
-            if np.all(np.isfinite(vector))
+            for (sensor_id, vector), ok in zip(per_sensor.items(), finite_mask)
+            if ok
         }
         self.n_non_finite_dropped += len(per_sensor) - len(finite)
         if not finite:
@@ -189,13 +200,24 @@ class DetectionPipeline:
         assert self.clusterer is not None
         assert overall_mean is not None
 
-        observations = np.vstack(
-            [per_sensor[s] for s in sorted(per_sensor.keys())]
+        sensor_ids = sorted(per_sensor.keys())
+        observations = np.vstack([per_sensor[s] for s in sensor_ids])
+        # One-pass hot path: the clusterer's window update also performs
+        # the overall-mean spawn check and hands back the post-update
+        # Eq. 2/3 results, so identification never re-scans the states.
+        cluster_update = self.clusterer.update(
+            observations, overall_mean=overall_mean
         )
-        cluster_update = self.clusterer.update(observations)
-        self.clusterer.maybe_spawn(overall_mean)
+        # Key the row-indexed assignments back to sensor ids in the
+        # window's own iteration order: alarm and filter bookkeeping
+        # follow dict order, which must not change under the hood.
+        assignment_of = dict(zip(sensor_ids, cluster_update.sensor_assignments))
         identification = identify_window(
-            self.clusterer, per_sensor, overall_mean=overall_mean
+            self.clusterer,
+            per_sensor,
+            overall_mean=overall_mean,
+            sensor_states={s: assignment_of[s] for s in per_sensor},
+            observable_state=cluster_update.observable_state,
         )
 
         raw_alarms = self.alarm_generator.process(window.index, identification)
@@ -361,7 +383,7 @@ class DetectionPipeline:
         if not sequence:
             raise ValueError("no windows processed yet")
         resolved = (
-            [self.clusterer.resolve(s) for s in sequence]
+            self.clusterer.states.resolve_batch(sequence)
             if self.clusterer is not None
             else list(sequence)
         )

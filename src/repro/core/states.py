@@ -7,6 +7,19 @@ error/attack data" (§3.1).  Both HMMs use these states as hidden states
 *and* observation symbols, so state identity must survive online updates,
 merges, and spawns — hence every state carries a stable integer id that
 never gets reused.
+
+The set sits on the pipeline's per-window hot path (the procedure is
+explicitly *on-the-fly*, so per-window cost on the collector node is a
+first-class result).  Queries therefore run against a cached ``(M, d)``
+matrix of state vectors: ``nearest``, ``assign_batch`` and
+``closest_pair`` are single NumPy reductions instead of per-state Python
+loops.  The cache is invalidated by the three mutating operations
+(:meth:`spawn`, :meth:`merge`, :meth:`update_vector`); vector writes MUST
+go through :meth:`update_vector` so the cache stays coherent.  All
+vectorized queries break distance ties toward the lowest state id,
+exactly like the scalar reference implementations they replaced
+(``_nearest_scalar`` / ``_closest_pair_scalar``, kept for the
+equivalence property tests).
 """
 
 from __future__ import annotations
@@ -20,6 +33,17 @@ import numpy as np
 #: when a tracked sensor agrees with the majority (§3.1).
 BOTTOM_STATE_ID = -1
 
+#: Memoised ``np.tril_indices(M)`` per M: ``closest_pair`` runs every
+#: window and M stays tiny, so the index arrays are worth keeping.
+_TRIL_CACHE: Dict[int, "tuple[np.ndarray, np.ndarray]"] = {}
+
+
+def _tril_indices(n: int) -> "tuple[np.ndarray, np.ndarray]":
+    indices = _TRIL_CACHE.get(n)
+    if indices is None:
+        indices = _TRIL_CACHE[n] = np.tril_indices(n)
+    return indices
+
 
 @dataclass
 class ModelState:
@@ -30,7 +54,9 @@ class ModelState:
     state_id:
         Stable, never-reused identifier.
     vector:
-        Current attribute estimate (updated online via Eq. 6).
+        Current attribute estimate (updated online via Eq. 6).  Inside a
+        :class:`StateSet`, reassign it via ``StateSet.update_vector`` so
+        the set's query cache stays coherent.
     visits:
         How many window updates mapped at least one observation here;
         used to prune spurious states (Fig. 7 discussion).
@@ -68,6 +94,13 @@ class StateSet:
         self._states: Dict[int, ModelState] = {}
         self._aliases: Dict[int, int] = {}
         self._next_id = 0
+        #: Attribute dimensionality, remembered from the first state ever
+        #: spawned so :meth:`vectors` can report ``(0, d)`` when emptied.
+        self._dim: Optional[int] = None
+        #: Lazily rebuilt ``(M, d)`` matrix of live vectors in id order,
+        #: plus the ids labelling its rows.  ``None`` marks it stale.
+        self._matrix: Optional[np.ndarray] = None
+        self._matrix_ids: Optional[List[int]] = None
         if initial_vectors is not None:
             for vector in initial_vectors:
                 self.spawn(vector)
@@ -105,6 +138,68 @@ class StateSet:
             state_id = self._aliases[state_id]
         return state_id
 
+    def resolve_batch(self, state_ids: Sequence[int]) -> List[int]:
+        """Resolve many ids at once, walking each alias chain only once.
+
+        ``_sequence_model`` resolves thousands of window entries that hit
+        the same handful of merged-away ids; memoising the chain walk
+        (with path compression inside the memo) turns that from
+        O(sequence × chain length) into O(sequence + chains).  The alias
+        table itself is left untouched so checkpoints of identical runs
+        stay byte-identical regardless of query history.
+        """
+        memo: Dict[int, int] = {}
+        resolved: List[int] = []
+        for state_id in state_ids:
+            root = memo.get(state_id)
+            if root is None:
+                chain = []
+                root = state_id
+                while root in self._aliases:
+                    if root in memo:
+                        root = memo[root]
+                        break
+                    chain.append(root)
+                    root = self._aliases[root]
+                for link in chain:  # path compression, local to the memo
+                    memo[link] = root
+                memo[state_id] = root
+            resolved.append(root)
+        return resolved
+
+    # -- the query cache --------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._matrix = None
+        self._matrix_ids = None
+
+    def _ensure_cache(self) -> "tuple[np.ndarray, List[int]]":
+        """The ``(M, d)`` vector matrix and its row ids, rebuilt if stale."""
+        if self._matrix is None:
+            ids = sorted(self._states.keys())
+            self._matrix_ids = ids
+            self._matrix = (
+                np.vstack([self._states[i].vector for i in ids])
+                if ids
+                else np.zeros((0, self._dim or 0))
+            )
+        assert self._matrix_ids is not None
+        return self._matrix, self._matrix_ids
+
+    def update_vector(self, state_id: int, vector: np.ndarray) -> None:
+        """Reassign a state's vector, keeping the query cache coherent.
+
+        This is the only sanctioned way to move a state (Eq. 6 updates go
+        through here); writing ``state.vector`` directly would leave the
+        cached matrix stale.
+        """
+        state = self.get(state_id)
+        state.vector = np.asarray(vector, dtype=float)
+        if self._matrix is not None:
+            assert self._matrix_ids is not None
+            row = self._matrix_ids.index(state.state_id)
+            self._matrix[row] = state.vector
+
     # -- structural operations ------------------------------------------
 
     def spawn(self, vector: np.ndarray) -> ModelState:
@@ -112,6 +207,9 @@ class StateSet:
         state = ModelState(state_id=self._next_id, vector=np.asarray(vector))
         self._states[state.state_id] = state
         self._next_id += 1
+        if self._dim is None:
+            self._dim = int(state.vector.shape[0])
+        self._invalidate()
         return state
 
     def merge(self, keep_id: int, drop_id: int) -> ModelState:
@@ -131,15 +229,53 @@ class StateSet:
         keep.vector = weight_keep * keep.vector + (1 - weight_keep) * drop.vector
         keep.visits += drop.visits
         self._aliases[drop_id] = keep_id
+        self._invalidate()
         return keep
 
     # -- queries ----------------------------------------------------------
 
+    def distances_to(self, points: np.ndarray) -> "tuple[np.ndarray, List[int]]":
+        """``(N, M)`` Euclidean distances from ``points`` to live states.
+
+        Returns the distance matrix and the state ids labelling its
+        columns (id order).  This is the single kernel behind
+        :meth:`nearest`, :meth:`assign_batch` and the clusterer's
+        one-pass window update.
+        """
+        matrix, ids = self._ensure_cache()
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if not ids:
+            return np.zeros((points.shape[0], 0)), ids
+        diff = points[:, None, :] - matrix[None, :, :]
+        return np.sqrt(np.einsum("nmd,nmd->nm", diff, diff)), ids
+
     def nearest(self, point: np.ndarray) -> Tuple[ModelState, float]:
         """The live state closest to ``point`` and its distance.
 
+        Distance ties go to the lowest state id (``argmin`` returns the
+        first minimum and columns are in id order, matching the scalar
+        reference's strict-``<`` scan).  Raises ``ValueError`` on an
+        empty set.
+        """
+        if not self._states:
+            raise ValueError("StateSet is empty")
+        distances, ids = self.distances_to(np.asarray(point, dtype=float))
+        column = int(np.argmin(distances[0]))
+        return self._states[ids[column]], float(distances[0, column])
+
+    def assign_batch(self, points: np.ndarray) -> List[int]:
+        """Nearest-state id for every row of ``points`` in one kernel.
+
+        Ties break toward the lowest id, exactly like :meth:`nearest`.
         Raises ``ValueError`` on an empty set.
         """
+        if not self._states:
+            raise ValueError("StateSet is empty")
+        distances, ids = self.distances_to(points)
+        return [ids[column] for column in np.argmin(distances, axis=1)]
+
+    def _nearest_scalar(self, point: np.ndarray) -> Tuple[ModelState, float]:
+        """Scalar reference for :meth:`nearest` (kept for property tests)."""
         if not self._states:
             raise ValueError("StateSet is empty")
         point = np.asarray(point, dtype=float)
@@ -154,13 +290,33 @@ class StateSet:
         return best, best_distance
 
     def vectors(self) -> np.ndarray:
-        """``(M, d)`` matrix of live state vectors, in id order."""
-        if not self._states:
-            return np.zeros((0, 0))
-        return np.vstack([state.vector for state in self])
+        """``(M, d)`` matrix of live state vectors, in id order.
+
+        An emptied set still reports ``(0, d)`` once the dimensionality
+        is known (mirrors the empty-window shape contract), so callers
+        can ``vstack``/iterate without special-casing.
+        """
+        matrix, _ = self._ensure_cache()
+        return matrix.copy()
 
     def closest_pair(self) -> Optional[Tuple[int, int, float]]:
-        """The two closest live states and their distance (None if < 2)."""
+        """The two closest live states and their distance (None if < 2).
+
+        Ties break toward the lexicographically smallest id pair, like
+        the scalar reference's ordered double loop.
+        """
+        matrix, ids = self._ensure_cache()
+        if len(ids) < 2:
+            return None
+        diff = matrix[:, None, :] - matrix[None, :, :]
+        distances = np.sqrt(np.einsum("ijd,ijd->ij", diff, diff))
+        distances[_tril_indices(len(ids))] = np.inf
+        flat = int(np.argmin(distances))
+        i, j = divmod(flat, len(ids))
+        return ids[i], ids[j], float(distances[i, j])
+
+    def _closest_pair_scalar(self) -> Optional[Tuple[int, int, float]]:
+        """Scalar reference for :meth:`closest_pair` (property tests)."""
         states = list(self)
         if len(states) < 2:
             return None
@@ -206,6 +362,8 @@ class StateSet:
                 visits=int(entry["visits"]),
             )
             restored._states[state.state_id] = state
+            if restored._dim is None:
+                restored._dim = int(state.vector.shape[0])
         restored._aliases = {
             int(dropped): int(kept) for dropped, kept in payload["aliases"]
         }

@@ -32,7 +32,16 @@ from .figures import (
     figure9,
     figure12,
 )
-from .runner import ScenarioRun, compute_initial_states, run_pipeline, run_scenario
+from .runner import (
+    ScenarioOutcome,
+    ScenarioRun,
+    ScenarioSpec,
+    compute_initial_states,
+    run_pipeline,
+    run_scenario,
+    run_scenarios_parallel,
+    summarize_run,
+)
 from .scenarios import (
     additive_scenario,
     calibration_scenario,
@@ -90,7 +99,9 @@ __all__ = [
     "Figure7Result",
     "Figure8Result",
     "Figure9Result",
+    "ScenarioOutcome",
     "ScenarioRun",
+    "ScenarioSpec",
     "SensorMatricesResult",
     "SweepResult",
     "Table1Result",
@@ -120,7 +131,9 @@ __all__ = [
     "reference_states",
     "run_pipeline",
     "run_scenario",
+    "run_scenarios_parallel",
     "stuck_at_scenario",
+    "summarize_run",
     "table1",
     "table2_3",
     "table4_5",

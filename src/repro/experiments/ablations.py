@@ -371,10 +371,10 @@ def estimator_comparison(
 
     run = clean_scenario(n_days=n_days, seed=seed)
     pipeline = run.pipeline
-    correct = [pipeline.clusterer.resolve(s) for s in pipeline.correct_sequence]
-    observable = [
-        pipeline.clusterer.resolve(s) for s in pipeline.observable_sequence
-    ]
+    correct = pipeline.clusterer.states.resolve_batch(pipeline.correct_sequence)
+    observable = pipeline.clusterer.states.resolve_batch(
+        pipeline.observable_sequence
+    )
     alphabet = sorted(set(correct) | set(observable))
     index = {s: k for k, s in enumerate(alphabet)}
     n = len(alphabet)

@@ -1,9 +1,23 @@
-"""Shared plumbing for trace-driven experiment runs."""
+"""Shared plumbing for trace-driven experiment runs.
+
+Besides the serial helpers (:func:`run_pipeline`, :func:`run_scenario`),
+this module hosts the parallel fan-out used by the table/figure
+reproductions and the fault campaigns: :func:`run_scenarios_parallel`
+executes a list of :class:`ScenarioSpec` entries across a
+``ProcessPoolExecutor``, one fresh deterministic simulation per worker.
+Workers return :class:`ScenarioOutcome` summaries (plain picklable data,
+no live pipeline objects — the pipeline holds unpicklable filter
+factories) in the exact order the specs were submitted, and every
+scenario is rebuilt from its own seed, so results are identical
+regardless of ``n_jobs``.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,3 +137,121 @@ def run_scenario(
         config=config,
         trace_config=trace_config,
     )
+
+
+# -- parallel fan-out ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario to run in the parallel fan-out.
+
+    ``name`` must be one of the registered standard scenarios (the same
+    vocabulary as ``repro scenario`` / ``cached_scenario``); the builder
+    is resolved inside the worker process so the spec itself stays a
+    tiny picklable value.
+    """
+
+    name: str
+    n_days: int = 21
+    seed: int = 2003
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Picklable summary of one scenario run.
+
+    Everything the experiment tables and the campaign scorers consume,
+    without the live pipeline (whose filter bank holds closure factories
+    that cannot cross a process boundary).  Two runs of the same spec
+    compare equal field-by-field, which is what the determinism tests
+    assert across ``n_jobs`` settings.
+    """
+
+    name: str
+    n_days: int
+    seed: int
+    n_windows: int
+    n_model_states: int
+    system_diagnosis: str
+    #: sensor id -> (category, anomaly type, confidence)
+    sensor_diagnoses: Dict[int, Tuple[str, str, float]]
+    ground_truth: Dict[int, str]
+    n_raw_alarms: int
+    n_tracks: int
+    correct_model_labels: Tuple[str, ...]
+
+    def detected_sensors(self) -> List[int]:
+        """Sensors diagnosed with anything (sorted)."""
+        return sorted(self.sensor_diagnoses)
+
+
+def summarize_run(run: ScenarioRun, spec: Optional[ScenarioSpec] = None) -> ScenarioOutcome:
+    """Condense a :class:`ScenarioRun` into a :class:`ScenarioOutcome`."""
+    pipeline = run.pipeline
+    diagnoses = {
+        sensor_id: (
+            diagnosis.category.value,
+            diagnosis.anomaly_type.value,
+            float(diagnosis.confidence),
+        )
+        for sensor_id, diagnosis in pipeline.diagnose_all().items()
+    }
+    model = pipeline.correct_model()
+    return ScenarioOutcome(
+        name=run.name,
+        n_days=spec.n_days if spec else run.trace_config.n_days,
+        seed=spec.seed if spec else run.trace_config.seed,
+        n_windows=pipeline.n_windows,
+        n_model_states=pipeline.clusterer.n_states if pipeline.clusterer else 0,
+        system_diagnosis=pipeline.system_diagnosis().anomaly_type.value,
+        sensor_diagnoses=diagnoses,
+        ground_truth=dict(run.ground_truth),
+        n_raw_alarms=sum(len(r.raw_alarms) for r in pipeline.results),
+        n_tracks=len(pipeline.tracks.tracks),
+        correct_model_labels=tuple(model.label(s) for s in model.state_ids),
+    )
+
+
+def _run_scenario_spec(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Worker entry point: build and summarise one scenario.
+
+    Imported lazily to avoid the runner<->scenarios import cycle; runs
+    in the worker process (or inline for ``n_jobs=1``).
+    """
+    from . import _SCENARIO_BUILDERS
+
+    builder = _SCENARIO_BUILDERS.get(spec.name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {spec.name!r}; "
+            f"choose from {sorted(_SCENARIO_BUILDERS)}"
+        )
+    run = builder(n_days=spec.n_days, seed=spec.seed)
+    return summarize_run(run, spec)
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` knob: None/0 -> all cores, floor at 1."""
+    if n_jobs is None or n_jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, int(n_jobs))
+
+
+def run_scenarios_parallel(
+    specs: Sequence[ScenarioSpec],
+    n_jobs: Optional[int] = None,
+) -> List[ScenarioOutcome]:
+    """Run many scenarios across processes; results in submission order.
+
+    Determinism contract: every worker rebuilds its scenario from the
+    spec's own seed (nothing is shared across workers), and outcomes are
+    collected in spec order — so the returned list is identical for any
+    ``n_jobs``, including the serial in-process path.
+    """
+    specs = list(specs)
+    n_jobs = resolve_n_jobs(n_jobs)
+    if n_jobs == 1 or len(specs) <= 1:
+        return [_run_scenario_spec(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs))) as pool:
+        return list(pool.map(_run_scenario_spec, specs))

@@ -11,13 +11,16 @@ ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..sensornet.environment import EnvironmentModel
 from .base import ActivationSchedule, Corruptor
 from .injector import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..experiments.runner import ScenarioOutcome
 
 
 @dataclass
@@ -91,6 +94,29 @@ class CampaignSpec:
             if not entry.corruptor.malicious:
                 ids.extend(entry.sensor_ids)
         return sorted(set(ids))
+
+
+def run_campaigns_parallel(
+    scenario_names: Sequence[str],
+    n_days: int = 21,
+    seed: int = 2003,
+    n_jobs: Optional[int] = None,
+) -> List["ScenarioOutcome"]:
+    """Run the named standard campaigns across a process pool.
+
+    Thin campaign-facing wrapper over
+    :func:`repro.experiments.runner.run_scenarios_parallel` (imported
+    lazily — the experiments package imports this module).  Returns
+    :class:`~repro.experiments.runner.ScenarioOutcome` summaries in the
+    order the names were given, identical for any ``n_jobs``.
+    """
+    from ..experiments.runner import ScenarioSpec, run_scenarios_parallel
+
+    specs = [
+        ScenarioSpec(name=name, n_days=n_days, seed=seed)
+        for name in scenario_names
+    ]
+    return run_scenarios_parallel(specs, n_jobs=n_jobs)
 
 
 def choose_compromised(

@@ -1,0 +1,269 @@
+"""Perf-regression harness: time the hot kernels, compare, fail on drift.
+
+``python -m repro bench`` measures the three hot paths the vectorisation
+work targets — full-pipeline window processing, online HMM counting
+updates, and clusterer window updates — plus the wall-clock of a small
+scenario campaign run serially vs through the parallel fan-out.  Results
+go to ``BENCH_pipeline.json``; ``--check`` compares the fresh numbers
+against the committed ones and exits non-zero when a kernel regressed
+beyond ``--tolerance``.
+
+Workloads deliberately mirror ``benchmarks/test_perf_pipeline.py`` so
+the pytest-benchmark suite and this harness report comparable numbers.
+Each kernel is timed best-of-``repeats`` (minimum wall-clock), which is
+the standard way to suppress scheduler noise on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+#: Metrics ``--check`` guards, all in "lower is better" units.
+CHECKED_METRICS = (
+    "pipeline_us_per_window",
+    "hmm_update_us",
+    "clusterer_update_us",
+)
+
+#: Hand-recorded timings of the same workloads at the pre-vectorisation
+#: commit (abd7625), kept so the JSON shows the optimisation headroom
+#: without needing to rebuild the old code.
+PRE_OPTIMIZATION_BASELINE = {
+    "pipeline_us_per_window": 614.1,
+    "hmm_update_us": 5.67,
+    "clusterer_update_us": 483.3,
+}
+
+DEFAULT_OUTPUT = "BENCH_pipeline.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _best_of(repeats: int, run: Callable[[], object]) -> float:
+    """Minimum wall-clock seconds of ``run`` over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_windows(n_windows: int = 200, n_sensors: int = 10, seed: int = 0):
+    """The synthetic diurnal workload from benchmarks/test_perf_pipeline."""
+    from .sensornet import ObservationWindow, SensorMessage
+
+    rng = np.random.default_rng(seed)
+    windows = []
+    for index in range(1, n_windows + 1):
+        phase = 2 * np.pi * index / 24.0
+        truth = np.array([21.0 - 10 * np.cos(phase), 75.0 + 20 * np.cos(phase)])
+        messages = tuple(
+            SensorMessage(
+                sensor_id=s,
+                timestamp=(index - 1) * 60.0 + 1.0,
+                attributes=tuple(truth + rng.normal(0, 0.35, 2)),
+            )
+            for s in range(n_sensors)
+        )
+        windows.append(
+            ObservationWindow(
+                index=index,
+                start_minutes=(index - 1) * 60.0,
+                end_minutes=index * 60.0,
+                messages=messages,
+            )
+        )
+    return windows
+
+
+def bench_pipeline(repeats: int = 3, n_windows: int = 200) -> float:
+    """Full-pipeline cost in microseconds per processed window."""
+    from . import DetectionPipeline, PipelineConfig
+
+    windows = _bench_windows(n_windows=n_windows)
+
+    def run() -> None:
+        pipeline = DetectionPipeline(PipelineConfig())
+        for window in windows:
+            pipeline.process_window(window)
+
+    return _best_of(repeats, run) / n_windows * 1e6
+
+
+def bench_hmm_update(repeats: int = 5, n_updates: int = 1000) -> float:
+    """Online HMM counting-update cost in microseconds per observation."""
+    from .core.online_hmm import OnlineHMM
+
+    rng = np.random.default_rng(1)
+    pairs = [
+        (int(rng.integers(0, 6)), int(rng.integers(0, 8)))
+        for _ in range(n_updates)
+    ]
+
+    def run() -> None:
+        hmm = OnlineHMM()
+        for state, symbol in pairs:
+            hmm.observe(state, symbol)
+
+    return _best_of(repeats, run) / n_updates * 1e6
+
+
+def bench_clusterer_update(repeats: int = 3, n_batches: int = 200) -> float:
+    """Clusterer window-update cost in microseconds per batch of 10."""
+    from .core.clustering import OnlineStateClusterer
+
+    rng = np.random.default_rng(2)
+    batches = [rng.normal([20.0, 70.0], 5.0, size=(10, 2)) for _ in range(n_batches)]
+
+    def run() -> None:
+        clusterer = OnlineStateClusterer(
+            initial_vectors=[np.array([20.0, 70.0])],
+            alpha=0.1,
+            spawn_threshold=10.0,
+            merge_threshold=5.0,
+        )
+        for batch in batches:
+            clusterer.update(batch)
+
+    return _best_of(repeats, run) / n_batches * 1e6
+
+
+def bench_campaign(
+    n_jobs: Optional[int] = None, n_days: int = 3, seed: int = 2003
+) -> Dict[str, object]:
+    """Wall-clock of a 4-scenario campaign, serial vs parallel.
+
+    Uses the fault scenarios only (the attack ones run an extra clean
+    reference simulation each, which would dominate the measurement).
+    """
+    from .experiments.runner import (
+        ScenarioSpec,
+        resolve_n_jobs,
+        run_scenarios_parallel,
+    )
+
+    names = ["clean", "stuck_at", "calibration", "additive"]
+    specs = [ScenarioSpec(name, n_days=n_days, seed=seed) for name in names]
+    n_jobs = resolve_n_jobs(n_jobs)
+
+    start = time.perf_counter()
+    serial = run_scenarios_parallel(specs, n_jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_scenarios_parallel(specs, n_jobs=n_jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    if serial != parallel:  # pragma: no cover - determinism violation
+        raise AssertionError("parallel campaign diverged from serial run")
+    return {
+        "scenarios": names,
+        "n_days": n_days,
+        "seed": seed,
+        "n_jobs": n_jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+    }
+
+
+def run_bench(
+    n_jobs: Optional[int] = None, repeats: int = 3
+) -> Dict[str, object]:
+    """Measure everything and assemble the BENCH_pipeline.json payload."""
+    return {
+        "schema": 1,
+        "pipeline_us_per_window": round(bench_pipeline(repeats=repeats), 1),
+        "hmm_update_us": round(bench_hmm_update(repeats=max(repeats, 5)), 2),
+        "clusterer_update_us": round(bench_clusterer_update(repeats=repeats), 1),
+        "campaign": bench_campaign(n_jobs=n_jobs),
+        "baseline_pre_optimization": dict(PRE_OPTIMIZATION_BASELINE),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def compare(
+    current: Dict[str, object],
+    previous: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regressions of the checked kernels beyond ``tolerance`` (fractional).
+
+    Returns human-readable failure lines; empty means the run is clean.
+    Missing metrics in the previous file are skipped (schema growth must
+    not fail old baselines).
+    """
+    failures = []
+    for metric in CHECKED_METRICS:
+        old = previous.get(metric)
+        new = current.get(metric)
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+            continue
+        budget = old * (1.0 + tolerance)
+        if new > budget:
+            failures.append(
+                f"{metric}: {new:.2f} us exceeds {old:.2f} us "
+                f"(+{(new / old - 1.0) * 100:.0f}%, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def render(result: Dict[str, object]) -> str:
+    """One-screen summary of a bench run."""
+    campaign = result["campaign"]
+    baseline = result["baseline_pre_optimization"]
+    lines = ["perf bench:"]
+    for metric in CHECKED_METRICS:
+        old = baseline.get(metric)
+        new = result[metric]
+        gain = f"  ({old / new:.1f}x vs pre-opt {old} us)" if old else ""
+        lines.append(f"  {metric:<26} {new:>8} us{gain}")
+    lines.append(
+        f"  campaign ({len(campaign['scenarios'])} scenarios, "
+        f"{campaign['n_days']} days): serial {campaign['serial_seconds']}s, "
+        f"parallel(n_jobs={campaign['n_jobs']}) {campaign['parallel_seconds']}s "
+        f"-> {campaign['speedup']}x"
+    )
+    return "\n".join(lines)
+
+
+def bench_command(
+    output: str = DEFAULT_OUTPUT,
+    check: bool = False,
+    tolerance: float = DEFAULT_TOLERANCE,
+    n_jobs: Optional[int] = None,
+    repeats: int = 3,
+) -> "tuple[str, int]":
+    """The ``repro bench`` implementation: (report text, exit code)."""
+    previous = None
+    if check and os.path.exists(output):
+        with open(output, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+
+    result = run_bench(n_jobs=n_jobs, repeats=repeats)
+    text = render(result)
+
+    if check:
+        if previous is None:
+            return text + f"\nno previous {output}; nothing to check", 0
+        failures = compare(result, previous, tolerance=tolerance)
+        if failures:
+            return text + "\nREGRESSIONS:\n" + "\n".join(
+                f"  {line}" for line in failures
+            ), 1
+        return text + f"\nno regressions vs {output} (tolerance {tolerance:.0%})", 0
+
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return text + f"\nwrote {output}", 0

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -48,13 +49,17 @@ class ObservationWindow:
     #: the default; non-empty windows infer the width from the messages.
     n_attributes: int = 0
 
-    @property
+    @cached_property
     def observations(self) -> np.ndarray:
         """``(N, n_attributes)`` matrix of the attribute vectors.
 
         Empty windows yield shape ``(0, n_attributes)`` — not ``(0, 0)``
         — so downstream column-wise code (means, vstack with neighbour
         windows) works uniformly across gaps.
+
+        Cached on first access (the window is immutable): the pipeline's
+        per-window pass reads the matrix several times and must not pay
+        a fresh ``vstack`` each time.  Treat the result as read-only.
         """
         if not self.messages:
             return np.zeros((0, self.n_attributes))

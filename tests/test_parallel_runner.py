@@ -1,0 +1,101 @@
+"""Parallel experiment runner: determinism and plumbing.
+
+The fan-out contract (DESIGN.md §Performance): ``run_scenarios_parallel``
+returns identical :class:`ScenarioOutcome` lists for any ``n_jobs``,
+because every worker rebuilds its scenario from the spec's own seed and
+results are collected in submission order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.experiments import (
+    ScenarioOutcome,
+    ScenarioSpec,
+    run_scenario,
+    run_scenarios_parallel,
+    summarize_run,
+)
+from repro.experiments.runner import _run_scenario_spec, resolve_n_jobs
+from repro.faults.campaign import run_campaigns_parallel
+
+# Small/fast specs: 3 simulated days keep each worker under a few seconds.
+SPECS = [
+    ScenarioSpec("clean", n_days=3, seed=17),
+    ScenarioSpec("stuck_at", n_days=3, seed=17),
+    ScenarioSpec("calibration", n_days=3, seed=23),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes():
+    return run_scenarios_parallel(SPECS, n_jobs=1)
+
+
+def test_serial_matches_parallel(serial_outcomes):
+    parallel = run_scenarios_parallel(SPECS, n_jobs=2)
+    assert parallel == serial_outcomes
+
+
+def test_results_in_submission_order(serial_outcomes):
+    assert [o.name for o in serial_outcomes] == [
+        "clean",
+        "stuck-at",
+        "calibration",
+    ]
+    assert [o.seed for o in serial_outcomes] == [17, 17, 23]
+
+
+def test_outcome_matches_direct_run(serial_outcomes):
+    spec = SPECS[1]
+    direct = _run_scenario_spec(spec)
+    assert direct == serial_outcomes[1]
+    assert isinstance(direct, ScenarioOutcome)
+    assert direct.n_windows > 0
+    assert direct.n_model_states > 0
+    assert direct.correct_model_labels
+
+
+def test_summarize_run_carries_ground_truth():
+    from repro.experiments.scenarios import stuck_at_scenario
+
+    run = stuck_at_scenario(n_days=3, seed=17)
+    outcome = summarize_run(run)
+    assert outcome.ground_truth == run.ground_truth
+    assert outcome.n_days == run.trace_config.n_days
+    assert outcome.detected_sensors() == sorted(outcome.sensor_diagnoses)
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        _run_scenario_spec(ScenarioSpec("no-such-scenario", n_days=1))
+
+
+def test_resolve_n_jobs():
+    assert resolve_n_jobs(1) == 1
+    assert resolve_n_jobs(4) == 4
+    assert resolve_n_jobs(-3) == 1
+    assert resolve_n_jobs(None) >= 1
+    assert resolve_n_jobs(0) == resolve_n_jobs(None)
+
+
+def test_campaign_wrapper_delegates(serial_outcomes):
+    outcomes = run_campaigns_parallel(
+        ["clean", "stuck_at"], n_days=3, seed=17, n_jobs=1
+    )
+    assert outcomes == serial_outcomes[:2]
+
+
+def test_config_n_jobs_validation():
+    assert PipelineConfig(n_jobs=0).n_jobs == 0
+    assert PipelineConfig(n_jobs=4).n_jobs == 4
+    with pytest.raises(ValueError, match="n_jobs"):
+        PipelineConfig(n_jobs=-1)
+
+
+def test_spec_defaults_match_cached_scenario_defaults():
+    spec = ScenarioSpec("clean")
+    assert spec.n_days == 21
+    assert spec.seed == 2003

@@ -1,0 +1,120 @@
+"""Perf-regression harness logic (no heavy timing in here)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import perf
+
+
+def _payload(**overrides):
+    base = {
+        "schema": 1,
+        "pipeline_us_per_window": 200.0,
+        "hmm_update_us": 3.0,
+        "clusterer_update_us": 120.0,
+        "campaign": {
+            "scenarios": ["clean"],
+            "n_days": 3,
+            "seed": 2003,
+            "n_jobs": 1,
+            "serial_seconds": 1.0,
+            "parallel_seconds": 1.0,
+            "speedup": 1.0,
+        },
+        "baseline_pre_optimization": dict(perf.PRE_OPTIMIZATION_BASELINE),
+        "environment": {"python": "3.11", "numpy": "2.0", "cpu_count": 1},
+    }
+    base.update(overrides)
+    return base
+
+
+def test_compare_clean_run():
+    assert perf.compare(_payload(), _payload(), tolerance=0.3) == []
+
+
+def test_compare_within_tolerance():
+    current = _payload(pipeline_us_per_window=200.0 * 1.25)
+    assert perf.compare(current, _payload(), tolerance=0.3) == []
+
+
+def test_compare_flags_regression():
+    current = _payload(pipeline_us_per_window=200.0 * 1.5)
+    failures = perf.compare(current, _payload(), tolerance=0.3)
+    assert len(failures) == 1
+    assert "pipeline_us_per_window" in failures[0]
+
+
+def test_compare_ignores_missing_metrics():
+    previous = _payload()
+    del previous["hmm_update_us"]
+    current = _payload(hmm_update_us=999.0)
+    assert perf.compare(current, previous, tolerance=0.3) == []
+
+
+def test_compare_improvement_never_fails():
+    current = _payload(
+        pipeline_us_per_window=1.0, hmm_update_us=0.1, clusterer_update_us=1.0
+    )
+    assert perf.compare(current, _payload(), tolerance=0.0) == []
+
+
+def test_render_mentions_every_checked_metric():
+    text = perf.render(_payload())
+    for metric in perf.CHECKED_METRICS:
+        assert metric in text
+    assert "campaign" in text
+
+
+def test_bench_hmm_update_returns_microseconds():
+    # Tiny workload: this is a plumbing check, not a measurement.
+    us = perf.bench_hmm_update(repeats=1, n_updates=50)
+    assert 0.0 < us < 1e6
+
+
+def test_check_without_previous_file(tmp_path, monkeypatch):
+    monkeypatch.setattr(perf, "run_bench", lambda **kw: _payload())
+    text, code = perf.bench_command(
+        output=str(tmp_path / "missing.json"), check=True
+    )
+    assert code == 0
+    assert "nothing to check" in text
+
+
+def test_write_then_check_round_trip(tmp_path, monkeypatch):
+    monkeypatch.setattr(perf, "run_bench", lambda **kw: _payload())
+    output = str(tmp_path / "bench.json")
+    text, code = perf.bench_command(output=output, check=False)
+    assert code == 0
+    with open(output, encoding="utf-8") as fh:
+        assert json.load(fh)["pipeline_us_per_window"] == 200.0
+
+    text, code = perf.bench_command(output=output, check=True)
+    assert code == 0
+    assert "no regressions" in text
+
+    slow = _payload(clusterer_update_us=120.0 * 2)
+    monkeypatch.setattr(perf, "run_bench", lambda **kw: slow)
+    text, code = perf.bench_command(output=output, check=True)
+    assert code == 1
+    assert "REGRESSIONS" in text
+    # --check must never overwrite the baseline it compared against.
+    with open(output, encoding="utf-8") as fh:
+        assert json.load(fh)["clusterer_update_us"] == 120.0
+
+
+def test_checked_metrics_present_in_real_schema():
+    for metric in perf.CHECKED_METRICS:
+        assert metric in perf.PRE_OPTIMIZATION_BASELINE
+
+
+@pytest.mark.parametrize("argv", [["bench", "--tolerance", "0.5"]])
+def test_cli_parses_bench_flags(argv):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(argv)
+    assert args.command == "bench"
+    assert args.tolerance == 0.5
+    assert args.jobs == 0
