@@ -166,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes (0 = all cores, 1 = serial in-process)",
     )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "scenario trace cache directory: reruns load generated "
+            "traces instead of re-simulating (identical results)"
+        ),
+    )
 
     bench = sub.add_parser(
         "bench", help="time the hot kernels / check for perf regressions"
@@ -299,10 +308,18 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     return report.render()
 
 
-def _cmd_campaign(names: List[str], days: int, seed: int, jobs: int) -> str:
+def _cmd_campaign(
+    names: List[str],
+    days: int,
+    seed: int,
+    jobs: int,
+    cache_dir: Optional[str] = None,
+) -> str:
     from .faults.campaign import run_campaigns_parallel
 
-    outcomes = run_campaigns_parallel(names, n_days=days, seed=seed, n_jobs=jobs)
+    outcomes = run_campaigns_parallel(
+        names, n_days=days, seed=seed, n_jobs=jobs, cache_dir=cache_dir
+    )
     lines = [
         f"campaign: {len(outcomes)} scenarios, {days} days, seed {seed}, "
         f"jobs {jobs if jobs else 'all'}"
@@ -314,8 +331,12 @@ def _cmd_campaign(names: List[str], days: int, seed: int, jobs: int) -> str:
         ) or "none"
         lines.append(
             f"  {outcome.name}: system={outcome.system_diagnosis} "
-            f"sensors=[{flagged}] windows={outcome.n_windows}"
+            f"sensors=[{flagged}] windows={outcome.n_windows} "
+            f"digest={outcome.digest[:12]}"
         )
+    if cache_dir is not None:
+        hits = sum(1 for outcome in outcomes if outcome.from_cache)
+        lines.append(f"cache: hits={hits} misses={len(outcomes) - hits}")
     return "\n".join(lines)
 
 
@@ -363,7 +384,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "chaos":
         print(_cmd_chaos(args))
     elif args.command == "campaign":
-        print(_cmd_campaign(args.names, args.days, args.seed, args.jobs))
+        print(
+            _cmd_campaign(
+                args.names, args.days, args.seed, args.jobs, args.cache_dir
+            )
+        )
     elif args.command == "bench":
         text, code = _cmd_bench(args)
         print(text)

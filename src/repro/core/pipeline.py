@@ -259,6 +259,55 @@ class DetectionPipeline:
         """Batch-feed a list of windows (trace-driven experiments)."""
         return [self.process_window(window) for window in windows]
 
+    def process_trace(self, trace) -> List[WindowResult]:
+        """Batched entry point: window ``trace`` columnarly and consume it.
+
+        Accepts either a :class:`repro.traces.schema.Trace` or a
+        :class:`repro.traces.columnar.ColumnarTrace`.  Windows are cut
+        with :func:`repro.sensornet.collector.windows_from_arrays`
+        (array views, no per-reading message objects) using the
+        config's ``window_minutes``; results are bit-identical to
+        windowing via messages and calling :meth:`process_windows`.
+        """
+        from ..traces.windows import window_trace_columnar
+
+        windows = window_trace_columnar(trace, self.config.window_minutes)
+        return [self.process_window(window) for window in windows]
+
+    def digest(self) -> str:
+        """Content hash of everything the evaluation reads off a run.
+
+        Covers the correct/observable state sequences, the M^CO model,
+        every per-sensor track model, the resolved state vectors, and
+        the per-sensor diagnoses.  Two runs produce the same digest iff
+        they are observationally equivalent — this is what the parity
+        suite and the scenario-cache correctness check compare.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "n_windows": self._n_windows,
+            "correct": self.correct_sequence,
+            "observable": self.observable_sequence,
+            "m_co": self.m_co.state_dict(),
+            "tracks": [track.state_dict() for track in self.tracks.tracks],
+            "states": {
+                str(state_id): [repr(float(x)) for x in vector]
+                for state_id, vector in sorted(self.state_vectors().items())
+            },
+            "diagnoses": {
+                str(sensor_id): [
+                    diagnosis.category.value,
+                    diagnosis.anomaly_type.value,
+                    repr(float(diagnosis.confidence)),
+                ]
+                for sensor_id, diagnosis in sorted(self.diagnose_all().items())
+            },
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     # -- checkpointing -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

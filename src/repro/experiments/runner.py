@@ -17,7 +17,9 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -180,15 +182,29 @@ class ScenarioOutcome:
     n_raw_alarms: int
     n_tracks: int
     correct_model_labels: Tuple[str, ...]
+    #: Content hash of the final pipeline state
+    #: (:meth:`DetectionPipeline.digest`); cached and regenerated runs
+    #: of the same spec must agree on it.
+    digest: str = ""
+    #: True when the trace came from the scenario cache rather than a
+    #: fresh simulation.  Excluded from equality — a cache-hot rerun
+    #: compares equal to its cold original.
+    from_cache: bool = field(default=False, compare=False)
 
     def detected_sensors(self) -> List[int]:
         """Sensors diagnosed with anything (sorted)."""
         return sorted(self.sensor_diagnoses)
 
 
-def summarize_run(run: ScenarioRun, spec: Optional[ScenarioSpec] = None) -> ScenarioOutcome:
-    """Condense a :class:`ScenarioRun` into a :class:`ScenarioOutcome`."""
-    pipeline = run.pipeline
+def _summarize_pipeline(
+    pipeline: DetectionPipeline,
+    name: str,
+    n_days: int,
+    seed: int,
+    ground_truth: Dict[int, str],
+    from_cache: bool = False,
+) -> ScenarioOutcome:
+    """Condense a finished pipeline into a :class:`ScenarioOutcome`."""
     diagnoses = {
         sensor_id: (
             diagnosis.category.value,
@@ -199,25 +215,46 @@ def summarize_run(run: ScenarioRun, spec: Optional[ScenarioSpec] = None) -> Scen
     }
     model = pipeline.correct_model()
     return ScenarioOutcome(
-        name=run.name,
-        n_days=spec.n_days if spec else run.trace_config.n_days,
-        seed=spec.seed if spec else run.trace_config.seed,
+        name=name,
+        n_days=n_days,
+        seed=seed,
         n_windows=pipeline.n_windows,
         n_model_states=pipeline.clusterer.n_states if pipeline.clusterer else 0,
         system_diagnosis=pipeline.system_diagnosis().anomaly_type.value,
         sensor_diagnoses=diagnoses,
-        ground_truth=dict(run.ground_truth),
+        ground_truth=dict(ground_truth),
         n_raw_alarms=sum(len(r.raw_alarms) for r in pipeline.results),
         n_tracks=len(pipeline.tracks.tracks),
         correct_model_labels=tuple(model.label(s) for s in model.state_ids),
+        digest=pipeline.digest(),
+        from_cache=from_cache,
     )
 
 
-def _run_scenario_spec(spec: ScenarioSpec) -> ScenarioOutcome:
+def summarize_run(run: ScenarioRun, spec: Optional[ScenarioSpec] = None) -> ScenarioOutcome:
+    """Condense a :class:`ScenarioRun` into a :class:`ScenarioOutcome`."""
+    return _summarize_pipeline(
+        run.pipeline,
+        name=run.name,
+        n_days=spec.n_days if spec else run.trace_config.n_days,
+        seed=spec.seed if spec else run.trace_config.seed,
+        ground_truth=dict(run.ground_truth),
+    )
+
+
+def _run_scenario_spec(
+    spec: ScenarioSpec, cache_dir: "Optional[Union[str, Path]]" = None
+) -> ScenarioOutcome:
     """Worker entry point: build and summarise one scenario.
 
     Imported lazily to avoid the runner<->scenarios import cycle; runs
     in the worker process (or inline for ``n_jobs=1``).
+
+    With a ``cache_dir``, a hit loads the stored delivered arrays and
+    replays the pipeline over columnar windows — no simulation, no
+    campaign rebuild (the planted ground truth travels with the entry).
+    The outcome is identical to a fresh run (``from_cache`` aside);
+    a miss simulates via the object-path oracle and stores the result.
     """
     from . import _SCENARIO_BUILDERS
 
@@ -227,7 +264,47 @@ def _run_scenario_spec(spec: ScenarioSpec) -> ScenarioOutcome:
             f"unknown scenario {spec.name!r}; "
             f"choose from {sorted(_SCENARIO_BUILDERS)}"
         )
+    cache = None
+    cache_spec = None
+    if cache_dir is not None:
+        from ..traces.cache import TraceCache, scenario_spec
+
+        cache = TraceCache(Path(cache_dir))
+        cache_spec = scenario_spec(spec.name, spec.n_days, spec.seed)
+        entry = cache.load(cache_spec)
+        if entry is not None:
+            from ..sensornet.collector import windows_from_arrays
+
+            config = PipelineConfig()
+            pipeline = DetectionPipeline(config)
+            for window in windows_from_arrays(
+                entry.timestamps,
+                entry.sensor_ids,
+                entry.values,
+                config.window_minutes,
+            ):
+                pipeline.process_window(window)
+            return _summarize_pipeline(
+                pipeline,
+                name=entry.label or spec.name,
+                n_days=spec.n_days,
+                seed=spec.seed,
+                ground_truth=entry.ground_truth,
+                from_cache=True,
+            )
     run = builder(n_days=spec.n_days, seed=spec.seed)
+    if cache is not None and cache_spec is not None:
+        timestamps, sensor_ids, values = run.trace.to_arrays()
+        cache.store(
+            cache_spec,
+            timestamps,
+            sensor_ids,
+            values,
+            attribute_names=run.trace.attribute_names,
+            metadata=run.trace.metadata,
+            ground_truth=run.ground_truth,
+            label=run.name,
+        )
     return summarize_run(run, spec)
 
 
@@ -238,9 +315,29 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return max(1, int(n_jobs))
 
 
+#: Per-worker state seeded by :func:`_pool_worker_init`.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _pool_worker_init() -> None:
+    """One-time setup in each pool worker.
+
+    Pre-imports the full experiment stack so spawned workers pay the
+    (substantial) import cost once per worker instead of lazily inside
+    their first task, and seeds a per-worker RNG for any worker-local
+    jitter needs — task results themselves never read it (each scenario
+    rebuilds from its spec's own seed, keeping the determinism
+    contract).
+    """
+    import repro.experiments  # noqa: F401  (side effect: warm imports)
+
+    _WORKER_STATE["rng"] = np.random.default_rng((os.getpid(), 0x5EED))
+
+
 def run_scenarios_parallel(
     specs: Sequence[ScenarioSpec],
     n_jobs: Optional[int] = None,
+    cache_dir: "Optional[Union[str, Path]]" = None,
 ) -> List[ScenarioOutcome]:
     """Run many scenarios across processes; results in submission order.
 
@@ -248,10 +345,21 @@ def run_scenarios_parallel(
     spec's own seed (nothing is shared across workers), and outcomes are
     collected in spec order — so the returned list is identical for any
     ``n_jobs``, including the serial in-process path.
+
+    ``cache_dir`` enables the scenario trace cache: workers load
+    previously generated traces instead of re-simulating (identical
+    outcomes either way — the cache-correctness CI job compares the
+    digests).  Specs are submitted in chunks so per-task IPC overhead
+    does not swallow the parallel speedup on short scenario lists.
     """
     specs = list(specs)
     n_jobs = resolve_n_jobs(n_jobs)
+    worker = partial(_run_scenario_spec, cache_dir=cache_dir)
     if n_jobs == 1 or len(specs) <= 1:
-        return [_run_scenario_spec(spec) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(specs))) as pool:
-        return list(pool.map(_run_scenario_spec, specs))
+        return [worker(spec) for spec in specs]
+    n_workers = min(n_jobs, len(specs))
+    chunksize = max(1, len(specs) // (n_workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_pool_worker_init
+    ) as pool:
+        return list(pool.map(worker, specs, chunksize=chunksize))

@@ -38,6 +38,20 @@ def _as_vector(values: Sequence[float]) -> np.ndarray:
     return np.asarray(values, dtype=float)
 
 
+def _distances_to(points: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Euclidean distance of each row of ``points`` from ``target``.
+
+    One explicit ``sqrt(sum(square))`` shared by the scalar and the
+    columnar attack paths.  ``np.linalg.norm`` is deliberately avoided:
+    its vector form routes through BLAS ``nrm2`` whose scaled algorithm
+    rounds differently from the axis form, so mixing the two would break
+    bit-parity on trigger/mapping decisions at region boundaries.
+    Supports broadcasting (e.g. ``(K, 1, d)`` against ``(M, d)``).
+    """
+    diff = np.asarray(points, dtype=float) - np.asarray(target, dtype=float)
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
 def coordinated_report(
     truth: np.ndarray,
     target: np.ndarray,
@@ -106,7 +120,7 @@ class DynamicCreationAttack(Corruptor):
     def _triggered(self, truth: np.ndarray) -> bool:
         if self.trigger is None:
             return True
-        distance = float(np.linalg.norm(truth - _as_vector(self.trigger)))
+        distance = float(_distances_to(truth, _as_vector(self.trigger)))
         return distance <= self.trigger_radius
 
     def _injecting(self, elapsed_minutes: float) -> bool:
@@ -122,6 +136,25 @@ class DynamicCreationAttack(Corruptor):
             truth, _as_vector(self.target), self.fraction, self.ranges
         )
         return message.with_attributes(report)
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        truths = np.asarray(truths, dtype=float)
+        elapsed = np.asarray(elapsed, dtype=float)
+        mask = np.ones(values.shape[0], dtype=bool)
+        if self.trigger is not None:
+            distances = _distances_to(truths, _as_vector(self.trigger))
+            mask &= distances <= self.trigger_radius
+        phase = (elapsed % self.period_minutes) / self.period_minutes
+        mask &= phase < self.on_fraction
+        out = values.copy()
+        if mask.any():
+            out[mask] = coordinated_report(
+                truths[mask], _as_vector(self.target), self.fraction, self.ranges
+            )
+        return out, np.ones(values.shape[0], dtype=bool)
 
 
 @dataclass
@@ -146,13 +179,27 @@ class DynamicDeletionAttack(Corruptor):
     def corrupt(
         self, message: SensorMessage, truth: np.ndarray, elapsed_minutes: float
     ) -> Optional[SensorMessage]:
-        distance = float(np.linalg.norm(truth - _as_vector(self.deleted_state)))
+        distance = float(_distances_to(truth, _as_vector(self.deleted_state)))
         if distance > self.radius:
             return message
         report = coordinated_report(
             truth, _as_vector(self.hold_state), self.fraction, self.ranges
         )
         return message.with_attributes(report)
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        truths = np.asarray(truths, dtype=float)
+        distances = _distances_to(truths, _as_vector(self.deleted_state))
+        mask = distances <= self.radius
+        out = values.copy()
+        if mask.any():
+            out[mask] = coordinated_report(
+                truths[mask], _as_vector(self.hold_state), self.fraction, self.ranges
+            )
+        return out, np.ones(values.shape[0], dtype=bool)
 
 
 @dataclass
@@ -187,7 +234,7 @@ class DynamicChangeAttack(Corruptor):
     def _image_of(self, truth: np.ndarray) -> np.ndarray:
         sources = np.asarray([source for source, _ in self.mapping])
         images = np.asarray([image for _, image in self.mapping])
-        distances = np.linalg.norm(sources - truth[None, :], axis=1)
+        distances = _distances_to(sources, truth[None, :])
         return images[int(np.argmin(distances))]
 
     def corrupt(
@@ -196,6 +243,18 @@ class DynamicChangeAttack(Corruptor):
         target = self._image_of(truth)
         report = coordinated_report(truth, target, self.fraction, self.ranges)
         return message.with_attributes(report)
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        truths = np.asarray(truths, dtype=float)
+        sources = np.asarray([source for source, _ in self.mapping])
+        images = np.asarray([image for _, image in self.mapping])
+        distances = _distances_to(sources[None, :, :], truths[:, None, :])
+        targets = images[np.argmin(distances, axis=1)]
+        out = coordinated_report(truths, targets, self.fraction, self.ranges)
+        return out, np.ones(values.shape[0], dtype=bool)
 
 
 @dataclass
@@ -232,6 +291,36 @@ class MixedAttack(Corruptor):
                 return candidate
         return message
 
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        # Stateful-RNG components consume their stream only on the rows
+        # that actually reach them in the scalar first-change-wins loop;
+        # a masked batch call cannot reproduce that, so fall back to the
+        # row-by-row replay for such components.
+        if any(getattr(c, "_rng", None) is not None for c in self.components):
+            return super().corrupt_columnar(values, truths, elapsed)
+        values = np.asarray(values, dtype=float)
+        truths = np.asarray(truths, dtype=float)
+        elapsed = np.asarray(elapsed, dtype=float)
+        out = values.copy()
+        delivered = np.ones(values.shape[0], dtype=bool)
+        undecided = np.ones(values.shape[0], dtype=bool)
+        for component in self.components:
+            if not undecided.any():
+                break
+            idx = np.nonzero(undecided)[0]
+            candidate, cand_delivered = component.corrupt_columnar(
+                values[idx], truths[idx], elapsed[idx]
+            )
+            changed = np.any(candidate != values[idx], axis=1)
+            take = changed | ~cand_delivered
+            rows = idx[take]
+            out[rows] = candidate[take]
+            delivered[rows] = cand_delivered[take]
+            undecided[rows] = False
+        return out, delivered
+
 
 @dataclass
 class BenignAttack(Corruptor):
@@ -259,3 +348,10 @@ class BenignAttack(Corruptor):
     ) -> Optional[SensorMessage]:
         noise = self._rng.normal(0.0, self.mimic_noise_std, size=truth.shape)
         return message.with_attributes(truth + noise)
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        truths = np.asarray(truths, dtype=float)
+        noise = self._rng.normal(0.0, self.mimic_noise_std, size=truths.shape)
+        return truths + noise, np.ones(truths.shape[0], dtype=bool)

@@ -75,6 +75,19 @@ class ActivationSchedule:
         """Minutes since onset (0 when not yet active)."""
         return max(0.0, minutes - self.start_minutes)
 
+    def active_mask(self, minutes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`active_at` over an array of timestamps."""
+        minutes = np.asarray(minutes, dtype=float)
+        mask = minutes >= self.start_minutes
+        if self.end_minutes is not None:
+            mask &= minutes < self.end_minutes
+        return mask
+
+    def elapsed_array(self, minutes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`elapsed` over an array of timestamps."""
+        minutes = np.asarray(minutes, dtype=float)
+        return np.maximum(0.0, minutes - self.start_minutes)
+
 
 class Corruptor:
     """Interface for fault and attack models.
@@ -100,3 +113,41 @@ class Corruptor:
     ) -> Optional[SensorMessage]:
         """Return the corrupted report (None suppresses the report)."""
         raise NotImplementedError
+
+    def corrupt_columnar(
+        self,
+        values: np.ndarray,
+        truths: np.ndarray,
+        elapsed: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorised :meth:`corrupt` over a batch of reports.
+
+        Parameters are parallel arrays, one row per report *in message
+        order* (tick-major, then mote order — the exact order the
+        scalar injector visits them, so stateful RNG corruptors consume
+        the same stream).  Returns ``(corrupted_values, delivered)``
+        where ``delivered`` is False for reports the corruptor
+        suppressed (the scalar path's ``None``).
+
+        The base implementation replays the scalar :meth:`corrupt` row
+        by row — always correct, never fast.  Hot corruptors override
+        it with a true array kernel; the parity suite pins the two
+        paths together bit-for-bit.
+        """
+        values = np.asarray(values, dtype=float)
+        truths = np.asarray(truths, dtype=float)
+        elapsed = np.asarray(elapsed, dtype=float)
+        out = values.copy()
+        delivered = np.ones(values.shape[0], dtype=bool)
+        for row in range(values.shape[0]):
+            message = SensorMessage(
+                sensor_id=0,
+                timestamp=float(elapsed[row]),
+                attributes=tuple(float(x) for x in values[row]),
+            )
+            corrupted = self.corrupt(message, truths[row], float(elapsed[row]))
+            if corrupted is None:
+                delivered[row] = False
+            else:
+                out[row] = corrupted.vector
+        return out, delivered

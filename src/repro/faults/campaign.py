@@ -101,6 +101,7 @@ def run_campaigns_parallel(
     n_days: int = 21,
     seed: int = 2003,
     n_jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List["ScenarioOutcome"]:
     """Run the named standard campaigns across a process pool.
 
@@ -108,7 +109,9 @@ def run_campaigns_parallel(
     :func:`repro.experiments.runner.run_scenarios_parallel` (imported
     lazily — the experiments package imports this module).  Returns
     :class:`~repro.experiments.runner.ScenarioOutcome` summaries in the
-    order the names were given, identical for any ``n_jobs``.
+    order the names were given, identical for any ``n_jobs``; with a
+    ``cache_dir``, previously generated traces are loaded from the
+    scenario cache instead of re-simulated.
     """
     from ..experiments.runner import ScenarioSpec, run_scenarios_parallel
 
@@ -116,7 +119,7 @@ def run_campaigns_parallel(
         ScenarioSpec(name=name, n_days=n_days, seed=seed)
         for name in scenario_names
     ]
-    return run_scenarios_parallel(specs, n_jobs=n_jobs)
+    return run_scenarios_parallel(specs, n_jobs=n_jobs, cache_dir=cache_dir)
 
 
 def choose_compromised(

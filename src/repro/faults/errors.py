@@ -46,6 +46,15 @@ class StuckAtFault(Corruptor):
             raise ValueError("stuck value dimensionality mismatch")
         return message.with_attributes(self.value)
 
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        if len(self.value) != values.shape[1]:
+            raise ValueError("stuck value dimensionality mismatch")
+        out = np.tile(np.asarray(self.value, dtype=float), (values.shape[0], 1))
+        return out, np.ones(values.shape[0], dtype=bool)
+
 
 @dataclass
 class CalibrationFault(Corruptor):
@@ -76,6 +85,15 @@ class CalibrationFault(Corruptor):
             raise ValueError("gains dimensionality mismatch")
         return message.with_attributes(message.vector * np.asarray(self.gains))
 
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        if len(self.gains) != values.shape[1]:
+            raise ValueError("gains dimensionality mismatch")
+        out = values * np.asarray(self.gains)
+        return out, np.ones(values.shape[0], dtype=bool)
+
 
 @dataclass
 class AdditiveFault(Corruptor):
@@ -91,6 +109,15 @@ class AdditiveFault(Corruptor):
         if len(self.offsets) != message.n_attributes:
             raise ValueError("offsets dimensionality mismatch")
         return message.with_attributes(message.vector + np.asarray(self.offsets))
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        if len(self.offsets) != values.shape[1]:
+            raise ValueError("offsets dimensionality mismatch")
+        out = values + np.asarray(self.offsets)
+        return out, np.ones(values.shape[0], dtype=bool)
 
 
 @dataclass
@@ -119,6 +146,16 @@ class RandomNoiseFault(Corruptor):
     ) -> Optional[SensorMessage]:
         noise = self._rng.normal(0.0, self.noise_std, size=message.n_attributes)
         return message.with_attributes(message.vector + noise)
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        # A (K, d) batched draw consumes the same Generator stream as K
+        # sequential size-d draws, so the scalar path's noise reappears
+        # value-for-value.
+        values = np.asarray(values, dtype=float)
+        noise = self._rng.normal(0.0, self.noise_std, size=values.shape)
+        return values + noise, np.ones(values.shape[0], dtype=bool)
 
 
 @dataclass
@@ -150,6 +187,17 @@ class DriftFault(Corruptor):
             self.terminal
         )
         return message.with_attributes(mixed)
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        if len(self.terminal) != values.shape[1]:
+            raise ValueError("terminal dimensionality mismatch")
+        progress = np.minimum(1.0, np.asarray(elapsed, dtype=float) / self.ramp_minutes)
+        progress = progress[:, None]
+        out = (1.0 - progress) * values + progress * np.asarray(self.terminal)
+        return out, np.ones(values.shape[0], dtype=bool)
 
 
 @dataclass
@@ -188,6 +236,26 @@ class PacketDropper(Corruptor):
             return None
         return self.inner.corrupt(message, truth, elapsed_minutes)
 
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        draws = self._rng.random(values.shape[0])
+        kept = draws >= self.drop_probability
+        out = values.copy()
+        delivered = kept.copy()
+        if kept.any():
+            # The scalar path only consults the inner corruptor (and so
+            # only advances its RNG) for packets that survive the drop.
+            idx = np.nonzero(kept)[0]
+            inner_out, inner_delivered = self.inner.corrupt_columnar(
+                values[idx], np.asarray(truths, dtype=float)[idx],
+                np.asarray(elapsed, dtype=float)[idx],
+            )
+            out[idx] = inner_out
+            delivered[idx] = inner_delivered
+        return out, delivered
+
 
 @dataclass
 class IntermittentFault(Corruptor):
@@ -219,3 +287,21 @@ class IntermittentFault(Corruptor):
         if self._rng.random() < self.duty_cycle:
             return self.inner.corrupt(message, truth, elapsed_minutes)
         return message
+
+    def corrupt_columnar(
+        self, values: np.ndarray, truths: np.ndarray, elapsed: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        values = np.asarray(values, dtype=float)
+        draws = self._rng.random(values.shape[0])
+        active = draws < self.duty_cycle
+        out = values.copy()
+        delivered = np.ones(values.shape[0], dtype=bool)
+        if active.any():
+            idx = np.nonzero(active)[0]
+            inner_out, inner_delivered = self.inner.corrupt_columnar(
+                values[idx], np.asarray(truths, dtype=float)[idx],
+                np.asarray(elapsed, dtype=float)[idx],
+            )
+            out[idx] = inner_out
+            delivered[idx] = inner_delivered
+        return out, delivered

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+import numpy as np
+
 from ..sensornet.environment import EnvironmentModel
 from ..sensornet.messages import SensorMessage
 from .base import ActivationSchedule, Corruptor
@@ -113,6 +115,96 @@ class FaultInjector:
                 )
             return corrupted
         return message
+
+    def apply_columnar(
+        self,
+        tick_times: np.ndarray,
+        sensor_ids: np.ndarray,
+        values: np.ndarray,
+        emitted: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorised equivalent of streaming every message through ``__call__``.
+
+        Parameters
+        ----------
+        tick_times:
+            ``(T,)`` sampling times in minutes.
+        sensor_ids:
+            ``(S,)`` sensor id of each column, in mote iteration order.
+        values:
+            ``(T, S, d)`` report grid, **modified in place**.
+        emitted:
+            Optional ``(T, S)`` mask of reports that exist (False for
+            dead/skipped motes).  Defaults to all-True.
+
+        Returns the ``(T, S)`` delivered mask: emitted reports that no
+        corruptor suppressed.  The ground-truth ``events`` log receives
+        exactly the entries (and order) the scalar path would append.
+        """
+        tick_times = np.asarray(tick_times, dtype=float)
+        sensor_ids = np.asarray(sensor_ids)
+        n_ticks, n_sensors, _ = values.shape
+        delivered = (
+            np.ones((n_ticks, n_sensors), dtype=bool)
+            if emitted is None
+            else emitted.copy()
+        )
+        # First-match-wins: a cell visited by an earlier injection is
+        # consumed even when that injection left the report unchanged.
+        claimed = np.zeros((n_ticks, n_sensors), dtype=bool)
+        truth_all: Optional[np.ndarray] = None
+        pending: List["tuple[int, int, str, bool]"] = []
+        for injection in self.injections:
+            sensor_mask = np.isin(sensor_ids, list(injection.sensor_ids))
+            if not sensor_mask.any():
+                continue
+            time_mask = injection.schedule.active_mask(tick_times)
+            cell_mask = (
+                time_mask[:, None]
+                & sensor_mask[None, :]
+                & delivered
+                & ~claimed
+            )
+            if not cell_mask.any():
+                continue
+            claimed |= cell_mask
+            # np.nonzero walks the grid row-major: tick-major, then mote
+            # order — the exact order the scalar stream visits messages,
+            # which stateful RNG corruptors rely on.
+            tt, ss = np.nonzero(cell_mask)
+            if truth_all is None:
+                truth_all = self.environment.values_at(tick_times)
+            sub_values = values[tt, ss]
+            new_values, sub_delivered = injection.corruptor.corrupt_columnar(
+                sub_values,
+                truth_all[tt],
+                injection.schedule.elapsed_array(tick_times)[tt],
+            )
+            values[tt, ss] = new_values
+            delivered[tt, ss] = sub_delivered
+            changed = np.any(new_values != sub_values, axis=1) & sub_delivered
+            for t_idx, s_idx in zip(tt[changed], ss[changed]):
+                pending.append(
+                    (
+                        int(t_idx),
+                        int(s_idx),
+                        injection.corruptor.kind,
+                        injection.corruptor.malicious,
+                    )
+                )
+        # Interleave the per-injection event blocks back into global
+        # message order (the scalar log's order).
+        pending.sort(key=lambda item: (item[0], item[1]))
+        for t_idx, s_idx, kind, malicious in pending:
+            self.events.append(
+                CorruptionEvent(
+                    sensor_id=int(sensor_ids[s_idx]),
+                    timestamp=float(tick_times[t_idx]),
+                    kind=kind,
+                    malicious=malicious,
+                )
+            )
+        return delivered
 
     def events_by_sensor(self) -> Dict[int, List[CorruptionEvent]]:
         """Group the ground-truth log per sensor."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -29,15 +30,18 @@ CHECKED_METRICS = (
     "pipeline_us_per_window",
     "hmm_update_us",
     "clusterer_update_us",
+    "trace_gen_us_per_window",
 )
 
-#: Hand-recorded timings of the same workloads at the pre-vectorisation
-#: commit (abd7625), kept so the JSON shows the optimisation headroom
-#: without needing to rebuild the old code.
+#: Hand-recorded timings of the same workloads at the pre-optimisation
+#: commits (abd7625 for the kernel metrics; the object-path generator
+#: for trace generation), kept so the JSON shows the optimisation
+#: headroom without needing to rebuild the old code.
 PRE_OPTIMIZATION_BASELINE = {
     "pipeline_us_per_window": 614.1,
     "hmm_update_us": 5.67,
     "clusterer_update_us": 483.3,
+    "trace_gen_us_per_window": 4674.2,
 }
 
 DEFAULT_OUTPUT = "BENCH_pipeline.json"
@@ -173,16 +177,90 @@ def bench_campaign(
     }
 
 
+def bench_trace_generation(
+    repeats: int = 3, n_days: int = 3
+) -> Dict[str, object]:
+    """Scenario-generation cost, object path vs columnar fast path.
+
+    Both paths generate the identical clean GDI deployment (the parity
+    suite pins them bit-for-bit); the metric is microseconds of
+    generation time per downstream pipeline window so it composes with
+    ``pipeline_us_per_window``.
+    """
+    from . import PipelineConfig
+    from .traces import (
+        GDITraceConfig,
+        generate_gdi_trace,
+        generate_gdi_trace_columnar,
+    )
+
+    config = GDITraceConfig(n_days=n_days)
+    window_minutes = PipelineConfig().window_minutes
+    n_windows = int(config.duration_minutes // window_minutes)
+
+    object_seconds = _best_of(repeats, lambda: generate_gdi_trace(config))
+    columnar_seconds = _best_of(
+        repeats, lambda: generate_gdi_trace_columnar(config)
+    )
+    object_us = object_seconds / n_windows * 1e6
+    columnar_us = columnar_seconds / n_windows * 1e6
+    return {
+        "n_days": n_days,
+        "n_windows": n_windows,
+        "object_us_per_window": round(object_us, 1),
+        "columnar_us_per_window": round(columnar_us, 1),
+        "speedup": round(object_us / columnar_us, 2),
+    }
+
+
+def bench_cache(n_days: int = 3, seed: int = 2003) -> Dict[str, object]:
+    """Campaign wall-clock cold (cache miss) vs hot (cache hit).
+
+    Runs the same serial campaign twice against a throwaway cache
+    directory; the second pass loads every trace from the cache.  The
+    per-scenario digests must match or the cache is corrupting results.
+    """
+    from .experiments.runner import ScenarioSpec, run_scenarios_parallel
+
+    names = ["clean", "stuck_at", "calibration", "additive"]
+    specs = [ScenarioSpec(name, n_days=n_days, seed=seed) for name in names]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        start = time.perf_counter()
+        cold = run_scenarios_parallel(specs, n_jobs=1, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        hot = run_scenarios_parallel(specs, n_jobs=1, cache_dir=cache_dir)
+        hot_seconds = time.perf_counter() - start
+
+    if [o.digest for o in cold] != [o.digest for o in hot]:
+        # pragma: no cover - cache correctness violation
+        raise AssertionError("cache-hot campaign diverged from cold run")
+    return {
+        "scenarios": names,
+        "n_days": n_days,
+        "seed": seed,
+        "cold_seconds": round(cold_seconds, 3),
+        "hot_seconds": round(hot_seconds, 3),
+        "speedup": round(cold_seconds / hot_seconds, 2),
+    }
+
+
 def run_bench(
     n_jobs: Optional[int] = None, repeats: int = 3
 ) -> Dict[str, object]:
     """Measure everything and assemble the BENCH_pipeline.json payload."""
+    trace_generation = bench_trace_generation(repeats=repeats)
     return {
-        "schema": 1,
+        "schema": 2,
         "pipeline_us_per_window": round(bench_pipeline(repeats=repeats), 1),
         "hmm_update_us": round(bench_hmm_update(repeats=max(repeats, 5)), 2),
         "clusterer_update_us": round(bench_clusterer_update(repeats=repeats), 1),
+        "trace_gen_us_per_window": trace_generation["columnar_us_per_window"],
+        "trace_generation": trace_generation,
         "campaign": bench_campaign(n_jobs=n_jobs),
+        "cache": bench_cache(),
         "baseline_pre_optimization": dict(PRE_OPTIMIZATION_BASELINE),
         "environment": {
             "python": platform.python_version(),
@@ -228,12 +306,27 @@ def render(result: Dict[str, object]) -> str:
         new = result[metric]
         gain = f"  ({old / new:.1f}x vs pre-opt {old} us)" if old else ""
         lines.append(f"  {metric:<26} {new:>8} us{gain}")
+    trace_generation = result.get("trace_generation")
+    if trace_generation:
+        lines.append(
+            f"  trace gen ({trace_generation['n_days']} days): object "
+            f"{trace_generation['object_us_per_window']} us/window, columnar "
+            f"{trace_generation['columnar_us_per_window']} us/window "
+            f"-> {trace_generation['speedup']}x"
+        )
     lines.append(
         f"  campaign ({len(campaign['scenarios'])} scenarios, "
         f"{campaign['n_days']} days): serial {campaign['serial_seconds']}s, "
         f"parallel(n_jobs={campaign['n_jobs']}) {campaign['parallel_seconds']}s "
         f"-> {campaign['speedup']}x"
     )
+    cache = result.get("cache")
+    if cache:
+        lines.append(
+            f"  cache ({len(cache['scenarios'])} scenarios, "
+            f"{cache['n_days']} days): cold {cache['cold_seconds']}s, "
+            f"hot {cache['hot_seconds']}s -> {cache['speedup']}x"
+        )
     return "\n".join(lines)
 
 

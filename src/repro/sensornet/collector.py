@@ -111,6 +111,73 @@ class ObservationWindow:
         }
 
 
+@dataclass(frozen=True, eq=False)
+class ArrayWindow:
+    """An :class:`ObservationWindow` backed by columnar array *views*.
+
+    Produced by the batched windowers (:func:`windows_from_arrays`, the
+    columnar trace path): ``observations`` is a read-only slice of the
+    trace's contiguous value array — no per-reading message objects, no
+    ``vstack`` copy.  Duck-type compatible with the subset of the
+    :class:`ObservationWindow` API the detection pipeline consumes
+    (``index``, ``observations``, ``per_sensor_mean``, ``overall_mean``,
+    ``sensor_ids``, ``is_empty``), and numerically bit-identical to it:
+    ``per_sensor_mean`` accumulates with ``np.bincount``, whose
+    sequential index-order adds reproduce the message loop exactly.
+    """
+
+    index: int
+    start_minutes: float
+    end_minutes: float
+    #: ``(N, n_attributes)`` read-only view into the trace storage.
+    observations: np.ndarray
+    #: ``(N,)`` sensor id of each row (read-only view).
+    sensor_id_array: np.ndarray
+    n_attributes: int = 0
+
+    @property
+    def sensor_ids(self) -> List[int]:
+        """Sensor id of each row of :attr:`observations`."""
+        return [int(s) for s in self.sensor_id_array]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no parseable report arrived in the window."""
+        return self.observations.shape[0] == 0
+
+    def overall_mean(self) -> np.ndarray:
+        """Mean over all raw readings (see ObservationWindow.overall_mean)."""
+        if self.is_empty:
+            raise ValueError("window is empty")
+        return self.observations.mean(axis=0)
+
+    def per_sensor_mean(self) -> Dict[int, np.ndarray]:
+        """Per-sensor reading means, keyed in first-occurrence order.
+
+        Dict order matters: the pipeline's alarm/filter bookkeeping
+        follows it, so the columnar path must reproduce the object
+        path's insertion order (first appearance of each sensor in the
+        window) — not sorted order.
+        """
+        obs = self.observations
+        ids = self.sensor_id_array
+        if obs.shape[0] == 0:
+            return {}
+        unique_sorted, first_idx, codes = np.unique(
+            ids, return_index=True, return_inverse=True
+        )
+        n_unique = len(unique_sorted)
+        counts = np.bincount(codes, minlength=n_unique)
+        sums = np.empty((n_unique, obs.shape[1]))
+        for column in range(obs.shape[1]):
+            sums[:, column] = np.bincount(
+                codes, weights=obs[:, column], minlength=n_unique
+            )
+        means = sums / counts[:, None]
+        order = np.argsort(first_idx, kind="stable")
+        return {int(unique_sorted[i]): means[i] for i in order}
+
+
 @dataclass
 class DeliveryStats:
     """Running counts of what the collector received.
@@ -305,4 +372,83 @@ def windows_from_messages(
         collector.receive_message(message)
         last_time = max(last_time, message.timestamp)
     windows = collector.pop_completed_windows(last_time + window_minutes)
+    return windows
+
+
+#: Canonical (0, 0) observation matrix for windows whose width the
+#: collector never learned (no report accepted yet).
+_EMPTY_OBSERVATIONS = np.zeros((0, 0))
+_EMPTY_OBSERVATIONS.flags.writeable = False
+
+
+def windows_from_arrays(
+    timestamps: np.ndarray,
+    sensor_ids: np.ndarray,
+    values: np.ndarray,
+    window_minutes: float,
+) -> List[ArrayWindow]:
+    """Columnar :func:`windows_from_messages`: flat arrays in, views out.
+
+    Inputs are parallel per-report arrays sorted by ``(timestamp,
+    sensor_id)`` — the canonical trace order.  Each emitted
+    :class:`ArrayWindow` holds *views* into one contiguous value block
+    (no per-window copies); the block is frozen read-only, so the views
+    are safe to share across windows and pipeline stages.
+
+    Replays the batch collector's semantics exactly: non-finite rows
+    are quarantined, rows before t=0 are late (the batch path receives
+    everything before the single pop, so the late horizon is 0), and
+    duplicate quarantine never fires (``Trace.to_messages`` assigns
+    unique per-sensor sequence numbers).  The window count comes from
+    the collector's own float comparisons, and every window shares the
+    trace-wide attribute width — bit-identical matrices, means, and
+    bounds, pinned by the parity suite.
+    """
+    if window_minutes <= 0:
+        raise ValueError("window_minutes must be positive")
+    timestamps = np.asarray(timestamps, dtype=float)
+    sensor_ids = np.asarray(sensor_ids)
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or not (
+        len(timestamps) == len(values) == len(sensor_ids)
+    ):
+        raise ValueError("need parallel (K,), (K,), (K, d) arrays")
+    # The batch collector tracks last_time over *every* message, even
+    # quarantined ones — take it before filtering.
+    last_time = max(0.0, float(timestamps.max())) if len(timestamps) else 0.0
+    keep = np.isfinite(values).all(axis=1) & (timestamps >= 0.0)
+    if not keep.all():
+        timestamps = timestamps[keep]
+        sensor_ids = sensor_ids[keep]
+        values = values[keep]
+    values = np.ascontiguousarray(values)
+    values.flags.writeable = False
+    sensor_ids = np.ascontiguousarray(sensor_ids)
+    sensor_ids.flags.writeable = False
+
+    n_rows = len(timestamps)
+    n_attributes = values.shape[1] if n_rows else 0
+    now = last_time + window_minutes
+    n_windows = 0
+    while window_minutes * (n_windows + 1) <= now:
+        n_windows += 1
+    boundaries = [window_minutes * i for i in range(n_windows + 1)]
+    edges = np.searchsorted(timestamps, np.asarray(boundaries), side="left")
+
+    windows: List[ArrayWindow] = []
+    for i in range(1, n_windows + 1):
+        lo, hi = int(edges[i - 1]), int(edges[i])
+        observations = (
+            values[lo:hi] if (hi > lo or n_attributes) else _EMPTY_OBSERVATIONS
+        )
+        windows.append(
+            ArrayWindow(
+                index=i,
+                start_minutes=float(boundaries[i - 1]),
+                end_minutes=float(boundaries[i]),
+                observations=observations,
+                sensor_id_array=sensor_ids[lo:hi],
+                n_attributes=n_attributes,
+            )
+        )
     return windows

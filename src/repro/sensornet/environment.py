@@ -21,7 +21,6 @@ bit-for-bit.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
@@ -41,6 +40,19 @@ class EnvironmentModel:
         """Return Θ(t) for ``minutes`` since the deployment start."""
         raise NotImplementedError
 
+    def values_at(self, minutes: np.ndarray) -> np.ndarray:
+        """Vectorised Θ(t): one ``(len(minutes), n_attributes)`` matrix.
+
+        The base implementation loops :meth:`value_at`.  Concrete models
+        override this with a batched kernel and route their *scalar*
+        path through it, so the columnar trace generator and the
+        per-message simulator can never diverge numerically.
+        """
+        minutes = np.asarray(minutes, dtype=float)
+        if minutes.size == 0:
+            return np.zeros((0, self.n_attributes))
+        return np.vstack([self.value_at(float(m)) for m in minutes])
+
     @property
     def n_attributes(self) -> int:
         """Dimensionality of Θ(t)."""
@@ -56,6 +68,10 @@ class ConstantEnvironment(EnvironmentModel):
 
     def value_at(self, minutes: float) -> np.ndarray:
         return np.asarray(self.attributes, dtype=float)
+
+    def values_at(self, minutes: np.ndarray) -> np.ndarray:
+        minutes = np.asarray(minutes, dtype=float)
+        return np.tile(np.asarray(self.attributes, dtype=float), (minutes.size, 1))
 
 
 @dataclass
@@ -98,6 +114,16 @@ class PiecewiseRegimeEnvironment(EnvironmentModel):
 
     def value_at(self, minutes: float) -> np.ndarray:
         return np.asarray(self.regimes[self.regime_index_at(minutes)], dtype=float)
+
+    def values_at(self, minutes: np.ndarray) -> np.ndarray:
+        minutes = np.asarray(minutes, dtype=float)
+        steps = (minutes // self.dwell_minutes).astype(int)
+        if self.cycle:
+            indices = steps % len(self.regimes)
+        else:
+            indices = np.minimum(steps, len(self.regimes) - 1)
+        table = np.asarray(self.regimes, dtype=float)
+        return table[indices]
 
 
 @dataclass
@@ -148,31 +174,56 @@ class GDIDiurnalEnvironment(EnvironmentModel):
             fronts.append(current)
         self._fronts = np.asarray(fronts)
 
+    def front_offsets(self, minutes: np.ndarray) -> np.ndarray:
+        """Linearly interpolated weather-front offsets, vectorised.
+
+        This is the single implementation; the scalar
+        :meth:`_front_offset` routes through it so the per-message and
+        columnar paths share every floating-point operation.
+        """
+        minutes = np.asarray(minutes, dtype=float)
+        day = minutes / MINUTES_PER_DAY
+        low = np.clip(np.floor(day).astype(int), 0, len(self._fronts) - 2)
+        frac = np.clip(day - low, 0.0, 1.0)
+        return (1 - frac) * self._fronts[low] + frac * self._fronts[low + 1]
+
     def _front_offset(self, minutes: float) -> float:
         """Linearly interpolated weather-front offset for ``minutes``."""
-        day = minutes / MINUTES_PER_DAY
-        low = int(math.floor(day))
-        low = min(max(low, 0), len(self._fronts) - 2)
-        frac = min(max(day - low, 0.0), 1.0)
-        return float((1 - frac) * self._fronts[low] + frac * self._fronts[low + 1])
+        return float(self.front_offsets(np.asarray([minutes]))[0])
 
-    def temperature_at(self, minutes: float) -> float:
-        """Clean diurnal temperature plus the weather-front offset."""
+    def temperatures_at(self, minutes: np.ndarray) -> np.ndarray:
+        """Clean diurnal temperatures plus weather-front offsets, vectorised."""
+        minutes = np.asarray(minutes, dtype=float)
         mid = 0.5 * (self.temp_min + self.temp_max)
         amplitude = 0.5 * (self.temp_max - self.temp_min)
         # Minimum near 05:00, maximum near 17:00 (coastal phase lag).
-        phase = 2.0 * math.pi * (minutes - 5 * 60.0) / MINUTES_PER_DAY
-        clean = mid - amplitude * math.cos(phase)
-        return clean + self._front_offset(minutes)
+        phase = 2.0 * np.pi * (minutes - 5 * 60.0) / MINUTES_PER_DAY
+        clean = mid - amplitude * np.cos(phase)
+        return clean + self.front_offsets(minutes)
+
+    def temperature_at(self, minutes: float) -> float:
+        """Clean diurnal temperature plus the weather-front offset."""
+        return float(self.temperatures_at(np.asarray([minutes]))[0])
+
+    def humidities_for_temperatures(self, temperatures: np.ndarray) -> np.ndarray:
+        """Humidity predicted by the anti-correlation line, vectorised."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        span = self.temp_max - self.temp_min
+        slope = (self.humidity_at_temp_max - self.humidity_at_temp_min) / span
+        humidity = self.humidity_at_temp_min + slope * (temperatures - self.temp_min)
+        return np.clip(humidity, 0.0, 100.0)
 
     def humidity_for_temperature(self, temperature: float) -> float:
         """Humidity predicted by the anti-correlation line, clipped."""
-        span = self.temp_max - self.temp_min
-        slope = (self.humidity_at_temp_max - self.humidity_at_temp_min) / span
-        humidity = self.humidity_at_temp_min + slope * (temperature - self.temp_min)
-        return float(np.clip(humidity, 0.0, 100.0))
+        return float(self.humidities_for_temperatures(np.asarray([temperature]))[0])
 
     def value_at(self, minutes: float) -> np.ndarray:
         temperature = self.temperature_at(minutes)
         humidity = self.humidity_for_temperature(temperature)
         return np.asarray([temperature, humidity], dtype=float)
+
+    def values_at(self, minutes: np.ndarray) -> np.ndarray:
+        minutes = np.asarray(minutes, dtype=float)
+        temperatures = self.temperatures_at(minutes)
+        humidities = self.humidities_for_temperatures(temperatures)
+        return np.stack([temperatures, humidities], axis=1)

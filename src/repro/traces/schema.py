@@ -131,6 +131,24 @@ class Trace:
             messages.append(record.to_message(sequence_number=seq))
         return messages
 
+    def to_arrays(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Flat ``(timestamps, sensor_ids, values)`` arrays, trace order.
+
+        The columnar windowing/pipeline entry points consume these
+        directly; records are already sorted by ``(timestamp,
+        sensor_id)``.
+        """
+        n = len(self.records)
+        timestamps = np.empty(n)
+        sensor_ids = np.empty(n, dtype=np.int64)
+        d = len(self.records[0].attributes) if n else len(self.attribute_names)
+        values = np.empty((n, d))
+        for row, record in enumerate(self.records):
+            timestamps[row] = record.timestamp
+            sensor_ids[row] = record.sensor_id
+            values[row] = record.attributes
+        return timestamps, sensor_ids, values
+
     def attribute_series(
         self, sensor_id: int, attribute_index: int
     ) -> "tuple[np.ndarray, np.ndarray]":

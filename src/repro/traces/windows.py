@@ -9,9 +9,15 @@ pipeline consumes, using the same collector code the live simulator uses
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Union
 
-from ..sensornet.collector import ObservationWindow, windows_from_messages
+from ..sensornet.collector import (
+    ArrayWindow,
+    ObservationWindow,
+    windows_from_arrays,
+    windows_from_messages,
+)
+from .columnar import ColumnarTrace
 from .schema import Trace
 
 
@@ -20,6 +26,40 @@ def window_trace(trace: Trace, window_minutes: float) -> List[ObservationWindow]
     if window_minutes <= 0:
         raise ValueError("window_minutes must be positive")
     return windows_from_messages(trace.to_messages(), window_minutes)
+
+
+def window_trace_columnar(
+    trace: Union[Trace, ColumnarTrace], window_minutes: float
+) -> List[ArrayWindow]:
+    """Columnar :func:`window_trace`: array-view windows, no messages.
+
+    Accepts either trace representation; the emitted windows are
+    numerically bit-identical to the object path's (same matrices,
+    means, bounds, and indices), just backed by contiguous array slices
+    instead of per-reading message objects.
+    """
+    if window_minutes <= 0:
+        raise ValueError("window_minutes must be positive")
+    if isinstance(trace, ColumnarTrace):
+        timestamps, sensor_ids, values = trace.delivered_arrays()
+    else:
+        timestamps, sensor_ids, values = trace.to_arrays()
+    return windows_from_arrays(timestamps, sensor_ids, values, window_minutes)
+
+
+def window_trace_columnar_by_samples(
+    trace: Union[Trace, ColumnarTrace],
+    samples_per_window: int,
+    sample_period_minutes: float = 5.0,
+) -> List[ArrayWindow]:
+    """Sample-count variant of :func:`window_trace_columnar`."""
+    if samples_per_window <= 0:
+        raise ValueError("samples_per_window must be positive")
+    if sample_period_minutes <= 0:
+        raise ValueError("sample_period_minutes must be positive")
+    return window_trace_columnar(
+        trace, samples_per_window * sample_period_minutes
+    )
 
 
 def window_trace_by_samples(

@@ -11,10 +11,18 @@ from repro import perf
 
 def _payload(**overrides):
     base = {
-        "schema": 1,
+        "schema": 2,
         "pipeline_us_per_window": 200.0,
         "hmm_update_us": 3.0,
         "clusterer_update_us": 120.0,
+        "trace_gen_us_per_window": 40.0,
+        "trace_generation": {
+            "n_days": 3,
+            "n_windows": 72,
+            "object_us_per_window": 4000.0,
+            "columnar_us_per_window": 40.0,
+            "speedup": 100.0,
+        },
         "campaign": {
             "scenarios": ["clean"],
             "n_days": 3,
@@ -23,6 +31,14 @@ def _payload(**overrides):
             "serial_seconds": 1.0,
             "parallel_seconds": 1.0,
             "speedup": 1.0,
+        },
+        "cache": {
+            "scenarios": ["clean"],
+            "n_days": 3,
+            "seed": 2003,
+            "cold_seconds": 1.0,
+            "hot_seconds": 0.1,
+            "speedup": 10.0,
         },
         "baseline_pre_optimization": dict(perf.PRE_OPTIMIZATION_BASELINE),
         "environment": {"python": "3.11", "numpy": "2.0", "cpu_count": 1},
@@ -66,6 +82,20 @@ def test_render_mentions_every_checked_metric():
     for metric in perf.CHECKED_METRICS:
         assert metric in text
     assert "campaign" in text
+    assert "trace gen" in text
+    assert "cache" in text
+
+
+def test_render_tolerates_schema1_payload():
+    # --check against an old baseline must not crash the report.
+    old = _payload()
+    old["schema"] = 1
+    del old["trace_generation"]
+    del old["cache"]
+    del old["trace_gen_us_per_window"]
+    text = perf.render(_payload())
+    assert perf.compare(_payload(), old, tolerance=0.3) == []
+    assert "trace gen" in text
 
 
 def test_bench_hmm_update_returns_microseconds():

@@ -1,0 +1,163 @@
+"""Scenario trace cache: correctness, invalidation, campaign integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ScenarioSpec, run_scenarios_parallel
+from repro.traces import (
+    CachedTrace,
+    TraceCache,
+    canonical_spec_hash,
+    scenario_spec,
+)
+from repro.traces import cache as cache_module
+
+
+@pytest.fixture
+def store_args():
+    rng = np.random.default_rng(0)
+    return dict(
+        timestamps=np.arange(12, dtype=float) * 5.0,
+        sensor_ids=np.arange(12, dtype=np.int64) % 3,
+        values=rng.normal(20.0, 1.0, size=(12, 2)),
+        attribute_names=("temperature", "humidity"),
+        metadata={"accepted": 12.0, "lost": 1.0},
+        ground_truth={6: "stuck_at"},
+        label="stuck-at",
+    )
+
+
+class TestSpecHashing:
+    def test_hash_is_order_insensitive(self):
+        a = {"x": 1, "y": "z"}
+        b = {"y": "z", "x": 1}
+        assert canonical_spec_hash(a) == canonical_spec_hash(b)
+
+    def test_scenario_spec_embeds_generator_version(self):
+        spec = scenario_spec("clean", n_days=3, seed=7)
+        assert spec["generator_version"] == cache_module.GENERATOR_VERSION
+        assert spec["scenario"] == "clean"
+        assert spec["n_days"] == 3
+        assert spec["seed"] == 7
+
+    def test_any_spec_field_changes_the_key(self):
+        base = scenario_spec("clean", n_days=3, seed=7)
+        variants = [
+            scenario_spec("stuck_at", n_days=3, seed=7),
+            scenario_spec("clean", n_days=4, seed=7),
+            scenario_spec("clean", n_days=3, seed=8),
+            dict(base, generator_version=base["generator_version"] + 1),
+        ]
+        hashes = {canonical_spec_hash(spec) for spec in variants}
+        assert canonical_spec_hash(base) not in hashes
+        assert len(hashes) == len(variants)
+
+
+class TestTraceCache:
+    def test_round_trip(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("stuck_at", n_days=1, seed=9)
+        path = cache.store(spec, **store_args)
+        assert path.is_file()
+
+        entry = cache.load(spec)
+        assert isinstance(entry, CachedTrace)
+        assert np.array_equal(entry.timestamps, store_args["timestamps"])
+        assert np.array_equal(entry.sensor_ids, store_args["sensor_ids"])
+        assert np.array_equal(entry.values, store_args["values"])
+        assert entry.attribute_names == store_args["attribute_names"]
+        assert entry.metadata == store_args["metadata"]
+        assert entry.ground_truth == store_args["ground_truth"]
+        assert entry.label == "stuck-at"
+
+    def test_loaded_arrays_are_frozen(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("stuck_at", n_days=1, seed=9)
+        cache.store(spec, **store_args)
+        entry = cache.load(spec)
+        for array in (entry.timestamps, entry.sensor_ids, entry.values):
+            assert not array.flags.writeable
+
+    def test_hit_and_miss_counters(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        assert cache.load(spec) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.store(spec, **store_args)
+        assert cache.load(spec) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.stats_line() == "cache: hits=1 misses=1"
+
+    def test_spec_change_misses(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        cache.store(scenario_spec("clean", n_days=1, seed=9), **store_args)
+        assert cache.load(scenario_spec("clean", n_days=1, seed=10)) is None
+        assert cache.load(scenario_spec("clean", n_days=2, seed=9)) is None
+        assert cache.load(scenario_spec("faulty", n_days=1, seed=9)) is None
+
+    def test_generator_version_bump_invalidates(
+        self, tmp_path, store_args, monkeypatch
+    ):
+        cache = TraceCache(tmp_path)
+        cache.store(scenario_spec("clean", n_days=1, seed=9), **store_args)
+        monkeypatch.setattr(
+            cache_module,
+            "GENERATOR_VERSION",
+            cache_module.GENERATOR_VERSION + 1,
+        )
+        assert cache.load(scenario_spec("clean", n_days=1, seed=9)) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, store_args, monkeypatch):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        cache.store(spec, **store_args)
+        monkeypatch.setattr(
+            cache_module,
+            "CACHE_SCHEMA_VERSION",
+            cache_module.CACHE_SCHEMA_VERSION + 1,
+        )
+        assert cache.load(spec) is None
+        assert cache.misses == 1
+
+    def test_store_leaves_no_temp_files(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        cache.store(scenario_spec("clean", n_days=1, seed=9), **store_args)
+        cache.store(scenario_spec("clean", n_days=1, seed=9), **store_args)
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+
+class TestCampaignIntegration:
+    def test_cold_and_hot_runs_are_identical(self, tmp_path):
+        specs = [
+            ScenarioSpec("clean", n_days=2, seed=11),
+            ScenarioSpec("stuck_at", n_days=2, seed=11),
+        ]
+        cold = run_scenarios_parallel(specs, n_jobs=1, cache_dir=str(tmp_path))
+        hot = run_scenarios_parallel(specs, n_jobs=1, cache_dir=str(tmp_path))
+
+        assert [o.from_cache for o in cold] == [False, False]
+        assert [o.from_cache for o in hot] == [True, True]
+        # from_cache is excluded from equality; everything else must match.
+        assert hot == cold
+        assert [o.digest for o in hot] == [o.digest for o in cold]
+        assert all(o.digest for o in cold)
+
+    def test_cache_matches_uncached_run(self, tmp_path):
+        specs = [ScenarioSpec("stuck_at", n_days=2, seed=11)]
+        uncached = run_scenarios_parallel(specs, n_jobs=1)
+        hot = run_scenarios_parallel(specs, n_jobs=1, cache_dir=str(tmp_path))
+        hot = run_scenarios_parallel(specs, n_jobs=1, cache_dir=str(tmp_path))
+        assert hot == uncached
+        # The run label survives the cache round trip (it differs from
+        # the registry key: "stuck_at" vs "stuck-at").
+        assert hot[0].name == uncached[0].name == "stuck-at"
+
+    def test_cache_dir_is_created_on_demand(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        specs = [ScenarioSpec("clean", n_days=2, seed=5)]
+        run_scenarios_parallel(specs, n_jobs=1, cache_dir=str(target))
+        assert list(target.glob("*.npz"))
