@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro campaign clean stuck_at calibration --jobs 4
     python -m repro bench
     python -m repro bench --check --tolerance 0.3
+    python -m repro fuzz --seeds 100
+    python -m repro fuzz --seeds 5 --soak
 
 ``reproduce`` regenerates one paper table/figure and prints its ASCII
 rendering; ``scenario`` runs one standard corruption scenario and prints
@@ -22,7 +24,10 @@ duplication, clock skew, collector crash + checkpoint restart) and
 prints the degradation report; ``campaign`` fans several scenarios out
 across worker processes and prints one verdict line each; ``bench``
 times the hot kernels and writes (or, with ``--check``, verifies)
-``BENCH_pipeline.json``.
+``BENCH_pipeline.json``; ``fuzz`` drives the pipeline with seeded
+adversarial streams (NaN/Inf bursts, floods, coordinated corruption)
+and exits non-zero on any crash, invariant violation, or checkpoint
+round-trip divergence.
 """
 
 from __future__ import annotations
@@ -174,6 +179,32 @@ def build_parser() -> argparse.ArgumentParser:
             "scenario trace cache directory: reruns load generated "
             "traces instead of re-simulating (identical results)"
         ),
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarially fuzz the pipeline with pathological streams",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25, help="independent fuzz seeds to run"
+    )
+    fuzz.add_argument(
+        "--windows",
+        type=int,
+        default=None,
+        help="windows per seed (default 80, or 400 with --soak)",
+    )
+    fuzz.add_argument(
+        "--soak",
+        action="store_true",
+        help="soak variant: longer streams per seed",
+    )
+    fuzz.add_argument("--base-seed", type=int, default=0)
+    fuzz.add_argument(
+        "--mode",
+        choices=("warn", "repair", "raise"),
+        default="warn",
+        help="supervisor mode under test",
     )
 
     bench = sub.add_parser(
@@ -354,6 +385,18 @@ def _cmd_bench(args: argparse.Namespace) -> "tuple[str, int]":
     )
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> "tuple[str, int]":
+    from .resilience.fuzz import fuzz_command
+
+    return fuzz_command(
+        n_seeds=args.seeds,
+        windows=args.windows,
+        soak=args.soak,
+        base_seed=args.base_seed,
+        mode=args.mode,
+    )
+
+
 def _cmd_sweep(sweep_id: str) -> str:
     result = _SWEEPS[sweep_id]()
     if isinstance(result, tuple):  # classification_matrix-style pairs
@@ -391,6 +434,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "bench":
         text, code = _cmd_bench(args)
+        print(text)
+        return code
+    elif args.command == "fuzz":
+        text, code = _cmd_fuzz(args)
         print(text)
         return code
     return 0

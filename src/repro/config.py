@@ -20,6 +20,9 @@ from .core.filtering import AlarmFilter, CUSUMFilter, KOfNFilter, SPRTFilter
 #: Supported alarm-filter kinds.
 FILTER_KINDS = ("k_of_n", "sprt", "cusum")
 
+#: Supported runtime invariant-supervisor modes.
+SUPERVISOR_MODES = ("off", "warn", "repair", "raise")
+
 
 @dataclass
 class PipelineConfig:
@@ -92,6 +95,23 @@ class PipelineConfig:
     #: chaos harness and the CLI, not by the pipeline itself.
     checkpoint_every_windows: int = 0
 
+    # --- runtime supervision ---------------------------------------------
+    #: Invariant supervisor mode (see repro.resilience.supervisor).
+    #: ``off`` disables supervision entirely — the pipeline is then
+    #: bit-identical to the unsupervised implementation; ``warn``
+    #: records violations and emits InvariantWarning; ``repair``
+    #: additionally applies bounded self-healing actions; ``raise``
+    #: raises InvariantViolationError on the first violation.
+    supervisor_mode: str = "off"
+    #: k — consecutive windows on which the majority assumption is
+    #: violated (the correct-state cluster holds at most half of the
+    #: reporting sensors) before the ModelUnderAttack meta-alarm raises
+    #: and the β/γ forgetting updates freeze.
+    supervisor_majority_windows: int = 3
+    #: Consecutive healthy-majority windows required to clear the
+    #: meta-alarm and resume learning.
+    supervisor_recovery_windows: int = 3
+
     # --- execution -------------------------------------------------------
     #: Worker processes for the parallel experiment runner; 0 means "all
     #: available cores".  Only the fan-out harness reads this — a single
@@ -115,6 +135,14 @@ class PipelineConfig:
             raise ValueError(f"filter_kind must be one of {FILTER_KINDS}")
         if self.checkpoint_every_windows < 0:
             raise ValueError("checkpoint_every_windows must be non-negative")
+        if self.supervisor_mode not in SUPERVISOR_MODES:
+            raise ValueError(
+                f"supervisor_mode must be one of {SUPERVISOR_MODES}"
+            )
+        if self.supervisor_majority_windows < 1:
+            raise ValueError("supervisor_majority_windows must be positive")
+        if self.supervisor_recovery_windows < 1:
+            raise ValueError("supervisor_recovery_windows must be positive")
         if self.n_jobs < 0:
             raise ValueError("n_jobs must be non-negative (0 = all cores)")
 

@@ -255,11 +255,12 @@ class OnlineStateClusterer:
         for row_index, row in enumerate(observations):
             distance = float(min_base[row_index])
             if spawned_vectors:
-                diff = np.vstack(spawned_vectors) - row
-                distance = min(
-                    distance,
-                    float(np.sqrt(np.einsum("md,md->m", diff, diff)).min()),
-                )
+                with np.errstate(over="ignore"):  # inf distances compare fine
+                    diff = np.vstack(spawned_vectors) - row
+                    distance = min(
+                        distance,
+                        float(np.sqrt(np.einsum("md,md->m", diff, diff)).min()),
+                    )
             if distance > self.spawn_threshold and len(self.states) < self.max_states:
                 state = self.states.spawn(row)
                 spawned.append(state.state_id)
@@ -287,8 +288,11 @@ class OnlineStateClusterer:
             spawned_matrix = np.vstack(
                 [self.states.get(state_id).vector for state_id in spawned]
             )
-            diff = observations[:, None, :] - spawned_matrix[None, :, :]
-            spawned_distances = np.sqrt(np.einsum("nmd,nmd->nm", diff, diff))
+            with np.errstate(over="ignore"):  # inf distances compare fine
+                diff = observations[:, None, :] - spawned_matrix[None, :, :]
+                spawned_distances = np.sqrt(
+                    np.einsum("nmd,nmd->nm", diff, diff)
+                )
             columns = np.hstack([base_distances, spawned_distances])
             ids = list(base_ids) + list(spawned)
         return [ids[column] for column in np.argmin(columns, axis=1)]
@@ -329,6 +333,32 @@ class OnlineStateClusterer:
             merged.append((keep, drop))
         return merged
 
+    def force_merge_to(self, target: int) -> List["tuple[int, int]"]:
+        """Repair action: merge closest pairs until at most ``target`` states.
+
+        Unlike :meth:`_merge_close_states` this ignores the merge
+        threshold — it is the supervisor's bounded response to an
+        exploded state set (``n_states > max_states`` should be
+        unreachable, but a corrupted restore or a future bug must not
+        leave the majority assumption permanently broken).
+        """
+        if target < 1:
+            raise ValueError("target must be at least 1")
+        merged: List["tuple[int, int]"] = []
+        while len(self.states) > target:
+            pair = self.states.closest_pair()
+            if pair is None:
+                break
+            first = self.states.get(pair[0])
+            second = self.states.get(pair[1])
+            if first.visits >= second.visits:
+                keep, drop = first.state_id, second.state_id
+            else:
+                keep, drop = second.state_id, first.state_id
+            self.states.merge(keep, drop)
+            merged.append((keep, drop))
+        return merged
+
     # -- convenience -------------------------------------------------------
 
     @property
@@ -358,13 +388,37 @@ class OnlineStateClusterer:
 
     @classmethod
     def from_state_dict(cls, payload: Dict[str, object]) -> "OnlineStateClusterer":
-        """Rebuild a clusterer from :meth:`state_dict` output."""
+        """Rebuild a clusterer from :meth:`state_dict` output.
+
+        Applies the constructor's validation to the payload rather than
+        silently constructing an inconsistent clusterer: ``max_states``
+        below 2 and state sets whose centroid dimensions disagree are
+        rejected with a clear error.
+        """
+        max_states = int(payload["max_states"])
+        if max_states < 2:
+            raise ValueError(
+                f"clusterer payload has max_states={max_states}; "
+                "max_states must be at least 2"
+            )
+        states = StateSet.from_state_dict(payload["states"])
+        dims = {int(state.vector.shape[0]) for state in states}
+        if len(dims) > 1:
+            raise ValueError(
+                "clusterer payload has states of disagreeing centroid "
+                f"dimensions {sorted(dims)}"
+            )
+        if len(states) > max_states:
+            raise ValueError(
+                f"clusterer payload holds {len(states)} states, more than "
+                f"its max_states={max_states}"
+            )
         clusterer = cls(
             initial_vectors=[np.zeros(1)],
             alpha=float(payload["alpha"]),
             spawn_threshold=float(payload["spawn_threshold"]),
             merge_threshold=float(payload["merge_threshold"]),
-            max_states=int(payload["max_states"]),
+            max_states=max_states,
         )
-        clusterer.states = StateSet.from_state_dict(payload["states"])
+        clusterer.states = states
         return clusterer

@@ -136,9 +136,12 @@ def identify_window(
         correct_state = candidates[0]
     else:
         def tie_key(state_id: int) -> "tuple[float, int]":
-            distance = float(
-                np.linalg.norm(clusterer.state_vector(state_id) - global_mean)
-            )
+            with np.errstate(over="ignore"):  # huge centroids -> inf is fine
+                distance = float(
+                    np.linalg.norm(
+                        clusterer.state_vector(state_id) - global_mean
+                    )
+                )
             return (distance, state_id)
 
         correct_state = min(candidates, key=tie_key)

@@ -378,6 +378,91 @@ class OnlineHMM:
         model._n_updates = int(payload["n_updates"])
         return model
 
+    def row_defects(self, atol: float = 1e-8) -> List[str]:
+        """Rows violating row-stochasticity, described (empty = healthy).
+
+        A row is defective when it contains a non-finite entry, a
+        negative entry, or a sum off unity by more than ``atol``.  Used
+        by the invariant supervisor; :meth:`is_row_stochastic` stays the
+        cheap boolean form.
+        """
+        defects: List[str] = []
+        for label, matrix, ids in (
+            ("A", self._transition, self.state_ids),
+            ("B", self._emission, self.state_ids),
+        ):
+            if matrix.size == 0:
+                continue
+            finite = np.isfinite(matrix).all(axis=1)
+            negative = (matrix < 0.0).any(axis=1)
+            sums = np.where(finite, matrix.sum(axis=1), np.nan)
+            off = ~finite | negative | ~np.isclose(sums, 1.0, atol=atol)
+            for row in np.flatnonzero(off):
+                defects.append(
+                    f"{label} row of state {ids[row]} "
+                    f"(sum={float(matrix[row].sum())!r})"
+                )
+        return defects
+
+    def renormalize_rows(self, atol: float = 1e-8) -> List[str]:
+        """Bounded repair: rescale near-degenerate rows back to unit sum.
+
+        Rows whose entries are finite, non-negative, and sum to
+        something positive are divided by their sum; rows that cannot be
+        renormalized that way (non-finite entries, negative mass, or an
+        all-zero row) are reset to the identity initialisation — a
+        one-hot at the state's own index in ``A`` and at the state's own
+        symbol in ``B``, exactly the paper's ``A = B = I`` start-up (the
+        estimator then relearns the row from subsequent windows).
+        Returns descriptions of the repaired rows.
+        """
+        actions: List[str] = []
+        for label, matrix in (("A", self._transition), ("B", self._emission)):
+            if matrix.size == 0:
+                continue
+            for row_index, state_id in enumerate(self.state_ids):
+                row = matrix[row_index]
+                total = row.sum()
+                if np.isfinite(total) and np.isclose(total, 1.0, atol=atol) and (
+                    row >= 0.0
+                ).all():
+                    continue
+                if (
+                    np.isfinite(row).all()
+                    and (row >= 0.0).all()
+                    and float(total) > 0.0
+                ):
+                    matrix[row_index] = row / total
+                    actions.append(
+                        f"renormalized {label} row of state {state_id}"
+                    )
+                else:
+                    matrix[row_index] = 0.0
+                    if label == "A":
+                        matrix[row_index, row_index] = 1.0
+                    else:
+                        matrix[row_index, self._symbol_index[state_id]] = 1.0
+                    actions.append(
+                        f"re-initialized {label} row of state {state_id} "
+                        "to identity"
+                    )
+        return actions
+
+    def reinitialize_identity(self) -> None:
+        """Reset both matrices to the paper's ``A = B = I`` start-up.
+
+        The alphabet (state/symbol indices) and the visit bookkeeping
+        are preserved — only the learned probability mass is discarded.
+        The supervisor applies this when a model is poisoned beyond
+        row-level repair.
+        """
+        n = len(self._state_index)
+        self._transition = np.eye(n)
+        self._emission = np.zeros((n, len(self._symbol_index)))
+        for state_id, row in self._state_index.items():
+            self._emission[row, self._symbol_index[state_id]] = 1.0
+        self._previous_state = None
+
     def is_row_stochastic(self, atol: float = 1e-8) -> bool:
         """Invariant check: both matrices keep unit row sums."""
         if self._transition.size == 0:

@@ -56,6 +56,9 @@ class WindowResult:
     raw_alarms: Sequence[RawAlarm] = ()
     filter_transitions: Sequence[FilterTransition] = ()
     n_model_states: int = 0
+    #: True when the supervisor's ModelUnderAttack meta-alarm froze the
+    #: β/γ learning updates for this window (always False unsupervised).
+    learning_frozen: bool = False
 
     @property
     def observable_state(self) -> Optional[int]:
@@ -117,6 +120,15 @@ class DetectionPipeline:
         self._n_windows = 0
         #: Non-finite per-sensor readings dropped by the input guard.
         self.n_non_finite_dropped = 0
+        #: Runtime invariant supervisor (None when supervisor_mode is
+        #: "off" — every code path is then exactly the unsupervised one,
+        #: so digests stay bit-identical).
+        self.supervisor = None
+        if self.config.supervisor_mode != "off":
+            # Imported lazily: repro.resilience imports repro.core.
+            from ..resilience.supervisor import PipelineSupervisor
+
+            self.supervisor = PipelineSupervisor.from_config(self.config)
 
     # -- bootstrap ----------------------------------------------------------
 
@@ -192,8 +204,18 @@ class DetectionPipeline:
         self._n_windows += 1
         per_sensor, overall_mean = self._sanitize(window)
         if not per_sensor:
-            result = WindowResult(window_index=window.index, skipped=True)
+            result = WindowResult(
+                window_index=window.index,
+                skipped=True,
+                learning_frozen=(
+                    self.supervisor.learning_frozen
+                    if self.supervisor is not None
+                    else False
+                ),
+            )
             self.results.append(result)
+            if self.supervisor is not None:
+                self.supervisor.after_window(self)
             return result
         if self.clusterer is None:
             self._bootstrap_clusterer(per_sensor)
@@ -232,14 +254,26 @@ class DetectionPipeline:
             else:
                 self.tracks.close_track(transition.sensor_id, window.index)
 
-        self.tracks.record_window(
-            identification.correct_state, identification.sensor_states
+        # Majority-assumption monitor: while the ModelUnderAttack
+        # meta-alarm is active, every model-learning update is frozen —
+        # M_CO, the track M_CE models, and the c_i/o_i sequences behind
+        # M_C/M_O — so a coordinated compromise cannot poison the
+        # learned models.  Detection (alarms, filters, track open/close)
+        # keeps running above.
+        frozen = (
+            self.supervisor.observe_identification(window.index, identification)
+            if self.supervisor is not None
+            else False
         )
-        self.m_co.observe(
-            identification.correct_state, identification.observable_state
-        )
-        self.correct_sequence.append(identification.correct_state)
-        self.observable_sequence.append(identification.observable_state)
+        if not frozen:
+            self.tracks.record_window(
+                identification.correct_state, identification.sensor_states
+            )
+            self.m_co.observe(
+                identification.correct_state, identification.observable_state
+            )
+            self.correct_sequence.append(identification.correct_state)
+            self.observable_sequence.append(identification.observable_state)
 
         result = WindowResult(
             window_index=window.index,
@@ -249,8 +283,11 @@ class DetectionPipeline:
             raw_alarms=tuple(raw_alarms),
             filter_transitions=tuple(transitions),
             n_model_states=self.clusterer.n_states,
+            learning_frozen=frozen,
         )
         self.results.append(result)
+        if self.supervisor is not None:
+            self.supervisor.after_window(self)
         return result
 
     def process_windows(
@@ -305,6 +342,11 @@ class DetectionPipeline:
                 for sensor_id, diagnosis in sorted(self.diagnose_all().items())
             },
         }
+        # Supervision state joins the digest only when a supervisor
+        # exists, so unsupervised digests stay bit-identical to the
+        # pre-supervisor implementation.
+        if self.supervisor is not None:
+            payload["supervisor"] = self.supervisor.digest_payload()
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

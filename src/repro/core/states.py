@@ -73,7 +73,10 @@ class ModelState:
 
     def distance_to(self, point: np.ndarray) -> float:
         """Euclidean distance from this state to ``point``."""
-        return float(np.linalg.norm(self.vector - np.asarray(point, dtype=float)))
+        with np.errstate(over="ignore"):  # huge magnitudes saturate to inf
+            return float(
+                np.linalg.norm(self.vector - np.asarray(point, dtype=float))
+            )
 
     def label(self) -> str:
         """The paper's ``(temp, humidity)``-style display label."""
@@ -212,6 +215,83 @@ class StateSet:
         self._invalidate()
         return state
 
+    def expel(self, state_id: int, alias_to: Optional[int] = None) -> None:
+        """Remove a state *without* folding its vector into a survivor.
+
+        Unlike :meth:`merge` — whose visit-weighted vector average would
+        propagate a poisoned (non-finite) centroid into the survivor —
+        ``expel`` simply drops the state, optionally aliasing its id to
+        ``alias_to`` so HMM histories recorded under the expelled id
+        keep resolving.  This is a supervisor repair action, not part of
+        the paper's procedure.
+        """
+        state_id = self.resolve(state_id)
+        if state_id not in self._states:
+            raise KeyError(state_id)
+        self._states.pop(state_id)
+        if alias_to is not None:
+            target = self.resolve(alias_to)
+            if target not in self._states:
+                raise KeyError(alias_to)
+            self._aliases[state_id] = target
+        self._invalidate()
+
+    def alias_defects(self) -> List[str]:
+        """Integrity problems in the alias table (empty when healthy).
+
+        Detects cycles (a chain that revisits an id, which would hang
+        :meth:`resolve`) and dangling chains (a chain ending at an id
+        that is neither live nor further aliased).  Walks the raw table
+        directly — never through :meth:`resolve` — so it terminates even
+        on a corrupted table.
+        """
+        defects: List[str] = []
+        for start in sorted(self._aliases):
+            seen = {start}
+            current = self._aliases[start]
+            while current in self._aliases:
+                if current in seen:
+                    defects.append(f"alias cycle through id {current}")
+                    break
+                seen.add(current)
+                current = self._aliases[current]
+            else:
+                if current not in self._states:
+                    defects.append(
+                        f"alias chain from id {start} dangles at id {current}"
+                    )
+        return defects
+
+    def repair_aliases(self) -> List[str]:
+        """Break alias cycles / re-point dangling chains (repair action).
+
+        Every alias participating in a cycle or dangling chain is
+        re-pointed at the smallest live state id (deterministic), or
+        dropped when no live state exists.  Returns descriptions of the
+        performed edits.
+        """
+        actions: List[str] = []
+        fallback = min(self._states) if self._states else None
+        for start in sorted(self._aliases):
+            seen = {start}
+            current = self._aliases[start]
+            broken = False
+            while current in self._aliases:
+                if current in seen:
+                    broken = True
+                    break
+                seen.add(current)
+                current = self._aliases[current]
+            if not broken and current in self._states:
+                continue
+            if fallback is None:
+                del self._aliases[start]
+                actions.append(f"dropped unresolvable alias {start}")
+            else:
+                self._aliases[start] = fallback
+                actions.append(f"re-pointed alias {start} -> {fallback}")
+        return actions
+
     def merge(self, keep_id: int, drop_id: int) -> ModelState:
         """Merge state ``drop_id`` into ``keep_id``.
 
@@ -246,8 +326,12 @@ class StateSet:
         points = np.atleast_2d(np.asarray(points, dtype=float))
         if not ids:
             return np.zeros((points.shape[0], 0)), ids
-        diff = points[:, None, :] - matrix[None, :, :]
-        return np.sqrt(np.einsum("nmd,nmd->nm", diff, diff)), ids
+        # Huge-magnitude observations (~1e300, seen under adversarial
+        # floods) legitimately saturate their squared distances to inf;
+        # comparisons against thresholds and argmin stay well-defined.
+        with np.errstate(over="ignore"):
+            diff = points[:, None, :] - matrix[None, :, :]
+            return np.sqrt(np.einsum("nmd,nmd->nm", diff, diff)), ids
 
     def nearest(self, point: np.ndarray) -> Tuple[ModelState, float]:
         """The live state closest to ``point`` and its distance.
@@ -308,8 +392,9 @@ class StateSet:
         matrix, ids = self._ensure_cache()
         if len(ids) < 2:
             return None
-        diff = matrix[:, None, :] - matrix[None, :, :]
-        distances = np.sqrt(np.einsum("ijd,ijd->ij", diff, diff))
+        with np.errstate(over="ignore"):  # inf distances are comparable
+            diff = matrix[:, None, :] - matrix[None, :, :]
+            distances = np.sqrt(np.einsum("ijd,ijd->ij", diff, diff))
         distances[_tril_indices(len(ids))] = np.inf
         flat = int(np.argmin(distances))
         i, j = divmod(flat, len(ids))

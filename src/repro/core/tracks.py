@@ -63,6 +63,31 @@ class ErrorAttackTrack:
         self.symbols.append((correct_state, error_symbol))
         self.model.observe(correct_state, error_symbol)
 
+    def truncate(self, max_length: int) -> int:
+        """Bounded repair: keep only the most recent ``max_length`` pairs.
+
+        A track longer than the windows elapsed since it opened can only
+        arise from corrupted state (double-recording, a bad restore).
+        The ``M_CE`` estimator is rebuilt by replaying the surviving
+        pairs — not bit-equal to the unbounded history's forgetting
+        recursion, but row-stochastic and consistent with ``symbols``.
+        Returns the number of dropped pairs.
+        """
+        if max_length < 0:
+            raise ValueError("max_length must be non-negative")
+        dropped = len(self.symbols) - max_length
+        if dropped <= 0:
+            return 0
+        self.symbols = self.symbols[-max_length:] if max_length else []
+        replayed = OnlineHMM(
+            transition_innovation=self.model.transition_innovation,
+            emission_innovation=self.model.emission_innovation,
+        )
+        for correct_state, symbol in self.symbols:
+            replayed.observe(correct_state, symbol)
+        self.model = replayed
+        return dropped
+
     def disagreement_fraction(self) -> float:
         """Fraction of recorded windows with a non-⊥ symbol."""
         if not self.symbols:

@@ -19,24 +19,62 @@ provides the three pillars:
 * Hardened ingest lives with the collector itself
   (:mod:`repro.sensornet.collector` quarantines duplicate / late /
   non-finite messages) and in the :mod:`repro.core` input guards.
+
+PR 4 added the *algorithmic* robustness leg:
+
+* :mod:`repro.resilience.invariants` — a declarative registry of
+  runtime invariants (finite centroids, bounded state count, alias
+  acyclicity, row-stochastic HMMs, bounded track lengths) with bounded
+  repair actions.
+* :mod:`repro.resilience.supervisor` — checks the registry after every
+  window (modes ``off | warn | repair | raise``) and monitors the
+  paper's majority assumption, raising a :class:`ModelUnderAttack`
+  meta-alarm and freezing β/γ learning while it is violated.
+* :mod:`repro.resilience.fuzz` — the seeded adversarial fuzz/soak
+  harness behind ``repro fuzz``.
 """
 
 from .checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
+    CheckpointVersionError,
     load_checkpoint,
     restore,
     save_checkpoint,
     snapshot,
 )
 from .chaos import ChaosCampaign, ChaosReport, ChaosSpec
+from .fuzz import FuzzReport, pathological_window, run_fuzz
+from .invariants import (
+    DEFAULT_INVARIANTS,
+    Invariant,
+    InvariantViolationError,
+    InvariantWarning,
+    Violation,
+    check_invariants,
+    default_invariants,
+)
+from .supervisor import ModelUnderAttack, PipelineSupervisor
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "ChaosCampaign",
     "ChaosReport",
     "ChaosSpec",
+    "CheckpointVersionError",
+    "DEFAULT_INVARIANTS",
+    "FuzzReport",
+    "Invariant",
+    "InvariantViolationError",
+    "InvariantWarning",
+    "ModelUnderAttack",
+    "PipelineSupervisor",
+    "Violation",
+    "check_invariants",
+    "default_invariants",
     "load_checkpoint",
+    "pathological_window",
     "restore",
+    "run_fuzz",
     "save_checkpoint",
     "snapshot",
 ]

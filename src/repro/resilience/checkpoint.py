@@ -40,7 +40,28 @@ from ..core.tracks import TrackManager
 PathLike = Union[str, Path]
 
 #: Format version stamped into every checkpoint document.
-CHECKPOINT_FORMAT_VERSION = 1
+#: v2: supervisor state (invariant violations, meta-alarms, learning
+#: freeze) joined the document alongside the new supervisor config keys.
+CHECKPOINT_FORMAT_VERSION = 2
+
+
+class CheckpointVersionError(ValueError):
+    """A checkpoint's schema version is missing or unsupported.
+
+    Raised with a message naming the found and expected versions so a
+    payload written by an older (or newer) release fails loudly and
+    actionably instead of with a raw ``KeyError`` deep in a
+    ``from_state_dict``.
+    """
+
+    def __init__(self, found: object, expected: int):
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            "unsupported checkpoint format version: found "
+            f"{found!r}, expected {expected} — this checkpoint was "
+            "written by a different release and cannot be restored"
+        )
 
 
 def snapshot(pipeline: DetectionPipeline) -> Dict[str, object]:
@@ -67,6 +88,11 @@ def snapshot(pipeline: DetectionPipeline) -> Dict[str, object]:
         "m_co": pipeline.m_co.state_dict(),
         "correct_sequence": list(pipeline.correct_sequence),
         "observable_sequence": list(pipeline.observable_sequence),
+        "supervisor": (
+            None
+            if pipeline.supervisor is None
+            else pipeline.supervisor.state_dict()
+        ),
     }
 
 
@@ -86,12 +112,13 @@ def restore(
 
     Raises
     ------
-    ValueError
-        For an unsupported checkpoint format version.
+    CheckpointVersionError
+        For a missing or unsupported checkpoint format version (e.g. a
+        payload written by an older release).
     """
     version = payload.get("checkpoint_format_version")
     if version != CHECKPOINT_FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint format version: {version!r}")
+        raise CheckpointVersionError(version, CHECKPOINT_FORMAT_VERSION)
     if config is None:
         config = PipelineConfig.from_json_dict(payload["config"])
 
@@ -119,6 +146,11 @@ def restore(
     pipeline.correct_sequence = [int(s) for s in payload["correct_sequence"]]
     pipeline.observable_sequence = [int(s) for s in payload["observable_sequence"]]
     pipeline._n_windows = int(payload["n_windows"])
+    supervisor_state = payload.get("supervisor")
+    if pipeline.supervisor is not None and supervisor_state is not None:
+        # A checkpoint taken mid-degradation restores degraded: the
+        # meta-alarm stays active and learning stays frozen.
+        pipeline.supervisor.load_state_dict(supervisor_state)
     return pipeline
 
 

@@ -1,0 +1,314 @@
+"""Declarative runtime invariants over the live detection pipeline.
+
+The paper's procedure is only sound while a handful of structural
+properties hold: model-state centroids stay finite, the state set stays
+small (``n_states <= max_states``, or the majority assumption breaks),
+the merge-alias table stays acyclic (or
+:meth:`~repro.core.states.StateSet.resolve` hangs), every online HMM
+stays row-stochastic (the paper proves the β/γ updates preserve this),
+and no error/attack track records more windows than have elapsed since
+it opened.  The pipeline maintains all of these by construction — this
+module makes them *checkable at runtime*, so a corrupted restore, a
+pathological input stream, or a future bug surfaces as a named
+:class:`Violation` instead of silently poisoning weeks of learned state.
+
+Each :class:`Invariant` couples a side-effect-free ``check`` with an
+optional bounded ``repair`` action (used by the supervisor's ``repair``
+mode): expelling poisoned centroids, force-merging an exploded state
+set, re-pointing broken aliases, renormalizing near-degenerate HMM rows
+(re-initializing a model to the paper's ``A = B = I`` start-up when it
+is poisoned beyond row repair), and truncate-and-replay for runaway
+tracks.  See :mod:`repro.resilience.supervisor` for the modes and
+DESIGN.md §10 for the invariant table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import DetectionPipeline
+
+
+class InvariantWarning(RuntimeWarning):
+    """Emitted (mode ``warn``) when a runtime invariant is violated."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation (plus any repair applied).
+
+    Attributes
+    ----------
+    invariant:
+        Name of the violated :class:`Invariant`.
+    detail:
+        Human-readable description of what was wrong.
+    window_index:
+        ``pipeline.n_windows`` when the violation was detected.
+    action:
+        Description of the repair applied (empty when none was).
+    """
+
+    invariant: str
+    detail: str
+    window_index: int
+    action: str = ""
+
+
+class InvariantViolationError(RuntimeError):
+    """Raised (mode ``raise``, or on a failed repair) on violations."""
+
+    def __init__(self, violations: Sequence[Violation]):
+        self.violations = tuple(violations)
+        lines = [
+            f"{v.invariant} @ window {v.window_index}: {v.detail}"
+            for v in self.violations
+        ]
+        super().__init__(
+            "pipeline invariant violation\n" + "\n".join(lines)
+        )
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named runtime invariant with its check and optional repair.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (used in reports and violation records).
+    description:
+        What must hold, in one sentence.
+    check:
+        ``pipeline -> list of problem descriptions`` (empty = healthy).
+        Must be side-effect free.
+    repair:
+        Optional bounded self-healing action,
+        ``pipeline -> list of action descriptions``.  After a repair the
+        check must pass; the supervisor escalates otherwise.
+    """
+
+    name: str
+    description: str
+    check: Callable[["DetectionPipeline"], List[str]]
+    repair: Optional[Callable[["DetectionPipeline"], List[str]]] = None
+
+
+# -- finite state centroids -------------------------------------------------
+
+
+def _check_finite_centroids(pipeline: "DetectionPipeline") -> List[str]:
+    if pipeline.clusterer is None:
+        return []
+    return [
+        f"state {state.state_id} centroid is non-finite"
+        for state in pipeline.clusterer.states
+        if not np.all(np.isfinite(state.vector))
+    ]
+
+
+def _repair_finite_centroids(pipeline: "DetectionPipeline") -> List[str]:
+    """Expel poisoned centroids, aliasing them to a finite survivor.
+
+    A merge would fold the non-finite vector into the survivor, so the
+    poisoned state is *expelled* instead: dropped from the live set with
+    its id aliased to the lowest-id finite state, keeping HMM histories
+    resolvable.  When no finite state survives the clusterer is cleared
+    entirely — the next window re-bootstraps the state set, mirroring
+    the paper's footnote-5 observation that initialisation is forgiving.
+    """
+    clusterer = pipeline.clusterer
+    if clusterer is None:
+        return []
+    actions: List[str] = []
+    finite_ids = [
+        state.state_id
+        for state in clusterer.states
+        if np.all(np.isfinite(state.vector))
+    ]
+    poisoned = [
+        state.state_id
+        for state in clusterer.states
+        if not np.all(np.isfinite(state.vector))
+    ]
+    if finite_ids:
+        survivor = finite_ids[0]
+        for state_id in poisoned:
+            clusterer.states.expel(state_id, alias_to=survivor)
+            actions.append(
+                f"expelled poisoned state {state_id} (alias -> {survivor})"
+            )
+    else:
+        pipeline.clusterer = None
+        actions.append(
+            "no finite centroid left; cleared the clusterer for "
+            "re-bootstrap on the next window"
+        )
+    return actions
+
+
+# -- bounded state count ----------------------------------------------------
+
+
+def _check_state_count(pipeline: "DetectionPipeline") -> List[str]:
+    clusterer = pipeline.clusterer
+    if clusterer is None:
+        return []
+    if clusterer.n_states > clusterer.max_states:
+        return [
+            f"{clusterer.n_states} live states exceed "
+            f"max_states={clusterer.max_states}"
+        ]
+    return []
+
+
+def _repair_state_count(pipeline: "DetectionPipeline") -> List[str]:
+    clusterer = pipeline.clusterer
+    if clusterer is None:
+        return []
+    merged = clusterer.force_merge_to(clusterer.max_states)
+    return [f"force-merged state {drop} into {keep}" for keep, drop in merged]
+
+
+# -- alias acyclicity -------------------------------------------------------
+
+
+def _check_alias_acyclicity(pipeline: "DetectionPipeline") -> List[str]:
+    if pipeline.clusterer is None:
+        return []
+    return pipeline.clusterer.states.alias_defects()
+
+
+def _repair_alias_acyclicity(pipeline: "DetectionPipeline") -> List[str]:
+    if pipeline.clusterer is None:
+        return []
+    return pipeline.clusterer.states.repair_aliases()
+
+
+# -- row-stochastic HMMs ----------------------------------------------------
+
+
+def _iter_models(pipeline: "DetectionPipeline"):
+    yield "M_CO", pipeline.m_co
+    for track in pipeline.tracks.tracks:
+        yield f"track {track.track_id} M_CE", track.model
+
+
+def _check_row_stochastic(pipeline: "DetectionPipeline") -> List[str]:
+    details: List[str] = []
+    for label, model in _iter_models(pipeline):
+        details.extend(f"{label}: {d}" for d in model.row_defects())
+    return details
+
+
+def _repair_row_stochastic(pipeline: "DetectionPipeline") -> List[str]:
+    actions: List[str] = []
+    for label, model in _iter_models(pipeline):
+        if not model.row_defects():
+            continue
+        actions.extend(f"{label}: {a}" for a in model.renormalize_rows())
+        if model.row_defects():  # beyond row-level repair
+            model.reinitialize_identity()
+            actions.append(f"{label}: re-initialized model to identity")
+    return actions
+
+
+# -- bounded track lengths --------------------------------------------------
+
+
+def _track_length_bound(pipeline: "DetectionPipeline", track) -> int:
+    """Windows a track can legitimately have recorded: one per window
+    processed since it opened (window indices advance with processing)."""
+    return max(pipeline.n_windows - track.opened_window + 1, 0)
+
+
+def _check_track_lengths(pipeline: "DetectionPipeline") -> List[str]:
+    details: List[str] = []
+    for track in pipeline.tracks.tracks:
+        bound = _track_length_bound(pipeline, track)
+        if track.length > bound:
+            details.append(
+                f"track {track.track_id} recorded {track.length} windows "
+                f"but only {bound} elapsed since it opened at window "
+                f"{track.opened_window}"
+            )
+    return details
+
+
+def _repair_track_lengths(pipeline: "DetectionPipeline") -> List[str]:
+    actions: List[str] = []
+    for track in pipeline.tracks.tracks:
+        bound = _track_length_bound(pipeline, track)
+        dropped = track.truncate(bound)
+        if dropped:
+            actions.append(
+                f"truncated track {track.track_id} to its most recent "
+                f"{bound} windows ({dropped} dropped, M_CE replayed)"
+            )
+    return actions
+
+
+#: The registry checked by the supervisor after every processed window.
+DEFAULT_INVARIANTS: Tuple[Invariant, ...] = (
+    Invariant(
+        name="finite-state-centroids",
+        description="every live model-state centroid is finite",
+        check=_check_finite_centroids,
+        repair=_repair_finite_centroids,
+    ),
+    Invariant(
+        name="state-count-bound",
+        description="the live state set never exceeds max_states",
+        check=_check_state_count,
+        repair=_repair_state_count,
+    ),
+    Invariant(
+        name="alias-acyclicity",
+        description="every merge-alias chain terminates at a live state",
+        check=_check_alias_acyclicity,
+        repair=_repair_alias_acyclicity,
+    ),
+    Invariant(
+        name="row-stochastic-models",
+        description="M_CO and every track M_CE keep row-stochastic A and B",
+        check=_check_row_stochastic,
+        repair=_repair_row_stochastic,
+    ),
+    Invariant(
+        name="bounded-track-lengths",
+        description="no track records more windows than elapsed since open",
+        check=_check_track_lengths,
+        repair=_repair_track_lengths,
+    ),
+)
+
+
+def default_invariants() -> Tuple[Invariant, ...]:
+    """The built-in invariant registry (a fresh tuple view)."""
+    return DEFAULT_INVARIANTS
+
+
+def check_invariants(
+    pipeline: "DetectionPipeline",
+    invariants: Optional[Sequence[Invariant]] = None,
+) -> List[Violation]:
+    """Run every invariant check once; returns violations (no repairs).
+
+    Side-effect free — usable from tests and the fuzz harness against
+    any pipeline, supervised or not.
+    """
+    violations: List[Violation] = []
+    for invariant in invariants or DEFAULT_INVARIANTS:
+        for detail in invariant.check(pipeline):
+            violations.append(
+                Violation(
+                    invariant=invariant.name,
+                    detail=detail,
+                    window_index=pipeline.n_windows,
+                )
+            )
+    return violations

@@ -91,6 +91,8 @@ class TraceCache:
     root: Path
     hits: int = field(default=0, init=False)
     misses: int = field(default=0, init=False)
+    #: Corrupted/truncated entries moved aside by :meth:`load`.
+    quarantined: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -99,32 +101,65 @@ class TraceCache:
         """Entry path for ``spec`` (exists only after a store)."""
         return self.root / f"{canonical_spec_hash(spec)}.npz"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupted entry to a ``quarantine/`` sibling directory.
+
+        Keeps the bad bytes around for post-mortem while guaranteeing
+        the next :meth:`load` of the same spec is a clean miss (and the
+        subsequent :meth:`store` does not fight a broken file).
+        """
+        target_dir = self.root / "quarantine"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Quarantining is best-effort: if the move itself fails
+            # (permissions, races), fall back to deleting the entry so
+            # the cache still self-heals.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.quarantined += 1
+
     def load(self, spec: Mapping[str, object]) -> Optional[CachedTrace]:
-        """Return the cached trace for ``spec``, or None (counted)."""
+        """Return the cached trace for ``spec``, or None (counted).
+
+        A corrupted or truncated entry (unreadable zip, missing arrays,
+        undecodable header) is treated as a miss rather than poisoning
+        the whole campaign: the bad file is moved to a ``quarantine/``
+        sibling, counted in :attr:`quarantined`, and ``None`` is
+        returned so the caller regenerates and re-stores the trace.
+        """
         path = self.path_for(spec)
         if not path.is_file():
             self.misses += 1
             return None
-        with np.load(path, allow_pickle=False) as payload:
-            header = json.loads(str(payload["header"]))
-            if header.get("cache_schema") != CACHE_SCHEMA_VERSION:
-                self.misses += 1
-                return None
-            entry = CachedTrace(
-                timestamps=payload["timestamps"],
-                sensor_ids=payload["sensor_ids"],
-                values=payload["values"],
-                attribute_names=tuple(header["attribute_names"]),
-                metadata={
-                    key: float(value)
-                    for key, value in header["metadata"].items()
-                },
-                ground_truth={
-                    int(key): str(value)
-                    for key, value in header["ground_truth"].items()
-                },
-                label=str(header.get("label", "")),
-            )
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                header = json.loads(str(payload["header"]))
+                if header.get("cache_schema") != CACHE_SCHEMA_VERSION:
+                    self.misses += 1
+                    return None
+                entry = CachedTrace(
+                    timestamps=payload["timestamps"],
+                    sensor_ids=payload["sensor_ids"],
+                    values=payload["values"],
+                    attribute_names=tuple(header["attribute_names"]),
+                    metadata={
+                        key: float(value)
+                        for key, value in header["metadata"].items()
+                    },
+                    ground_truth={
+                        int(key): str(value)
+                        for key, value in header["ground_truth"].items()
+                    },
+                    label=str(header.get("label", "")),
+                )
+        except Exception:  # zipfile/JSON/key/shape corruption
+            self._quarantine(path)
+            self.misses += 1
+            return None
         for array in (entry.timestamps, entry.sensor_ids, entry.values):
             array.flags.writeable = False
         self.hits += 1
@@ -179,5 +214,8 @@ class TraceCache:
         return path
 
     def stats_line(self) -> str:
-        """Human-readable hit/miss counters for CLI output."""
-        return f"cache: hits={self.hits} misses={self.misses}"
+        """Human-readable hit/miss/quarantine counters for CLI output."""
+        line = f"cache: hits={self.hits} misses={self.misses}"
+        if self.quarantined:
+            line += f" quarantined={self.quarantined}"
+        return line

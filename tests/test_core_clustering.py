@@ -151,3 +151,32 @@ class TestTracking:
         c = clusterer()
         labels = c.state_labels()
         assert labels[0] == "(0,0)"
+
+
+class TestStateDictValidation:
+    def test_round_trip(self):
+        c = clusterer()
+        c.update(np.array([[1.0, 0.0], [21.0, 0.0]]))
+        rebuilt = OnlineStateClusterer.from_state_dict(c.state_dict())
+        assert rebuilt.state_dict() == c.state_dict()
+
+    def test_rejects_max_states_below_two(self):
+        payload = clusterer().state_dict()
+        payload["max_states"] = 1
+        with pytest.raises(ValueError, match="max_states=1"):
+            OnlineStateClusterer.from_state_dict(payload)
+
+    def test_rejects_disagreeing_centroid_dimensions(self):
+        payload = clusterer().state_dict()
+        payload["states"]["states"][0]["vector"] = [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="disagreeing centroid"):
+            OnlineStateClusterer.from_state_dict(payload)
+
+    def test_rejects_more_states_than_max_states(self):
+        payload = clusterer().state_dict()
+        payload["max_states"] = 2
+        payload["states"]["states"].append(
+            dict(payload["states"]["states"][0], id=99)
+        )
+        with pytest.raises(ValueError, match="more than"):
+            OnlineStateClusterer.from_state_dict(payload)

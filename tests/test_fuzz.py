@@ -1,0 +1,140 @@
+"""Tests for the adversarial fuzz/soak harness and its CLI surface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.resilience.fuzz import (
+    PATHOLOGY_KINDS,
+    FuzzReport,
+    fuzz_command,
+    pathological_window,
+    run_fuzz,
+)
+
+
+class TestPathologicalWindows:
+    @pytest.mark.parametrize("kind", PATHOLOGY_KINDS)
+    def test_every_kind_builds_a_valid_window(self, kind):
+        rng = np.random.default_rng(3)
+        window = pathological_window(7, kind, rng, n_sensors=6)
+        assert window.index == 7
+        assert window.n_attributes == 2
+        assert window.observations.shape[1] == 2
+
+    def test_kinds_shape_their_payloads(self):
+        rng = np.random.default_rng(0)
+        empty = pathological_window(1, "empty", rng)
+        assert empty.observations.shape == (0, 2)
+        single = pathological_window(2, "single_sensor", rng)
+        assert len({m.sensor_id for m in single.messages}) == 1
+        nan_burst = pathological_window(3, "nan_burst", rng)
+        assert np.isnan(nan_burst.observations).any()
+        inf_burst = pathological_window(4, "inf_burst", rng)
+        assert np.isinf(inf_burst.observations).any()
+        huge = pathological_window(5, "huge_magnitude", rng)
+        assert np.max(np.abs(huge.observations)) >= 1e290
+        duplicates = pathological_window(6, "duplicate_ids", rng)
+        ids = [m.sensor_id for m in duplicates.messages]
+        assert len(ids) > len(set(ids))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown pathology"):
+            pathological_window(1, "alien", np.random.default_rng(0))
+
+    def test_windows_are_seed_deterministic(self):
+        a = pathological_window(9, "nan_burst", np.random.default_rng(11))
+        b = pathological_window(9, "nan_burst", np.random.default_rng(11))
+        assert np.array_equal(
+            a.observations, b.observations, equal_nan=True
+        )
+
+
+class TestRunFuzz:
+    def test_small_run_is_clean(self):
+        report = run_fuzz(n_seeds=3, windows_per_seed=40, base_seed=0)
+        assert report.ok
+        assert report.crashes == []
+        assert report.violations == []
+        assert report.checkpoint_failures == []
+        assert report.n_windows == 120
+        assert sum(report.kind_counts.values()) == 120
+
+    def test_runs_are_deterministic(self):
+        first = run_fuzz(n_seeds=2, windows_per_seed=30, base_seed=5)
+        second = run_fuzz(n_seeds=2, windows_per_seed=30, base_seed=5)
+        assert first == second
+
+    def test_base_seed_changes_the_stream(self):
+        a = run_fuzz(n_seeds=1, windows_per_seed=40, base_seed=0)
+        b = run_fuzz(n_seeds=1, windows_per_seed=40, base_seed=999)
+        assert a.kind_counts != b.kind_counts
+
+    @pytest.mark.parametrize("mode", ["warn", "repair", "raise"])
+    def test_all_supervisor_modes_survive(self, mode):
+        report = run_fuzz(
+            n_seeds=2, windows_per_seed=30, base_seed=1, mode=mode
+        )
+        assert report.ok, report.render()
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            run_fuzz(n_seeds=0)
+        with pytest.raises(ValueError):
+            run_fuzz(windows_per_seed=0)
+        with pytest.raises(ValueError):
+            run_fuzz(checkpoint_every=0)
+
+
+class TestReportAndCommand:
+    def test_render_mentions_verdict_and_counts(self):
+        report = run_fuzz(n_seeds=1, windows_per_seed=25, base_seed=2)
+        text = report.render()
+        assert "verdict: OK" in text
+        assert "crashes: 0" in text
+        assert "pathologies:" in text
+
+    def test_findings_flip_verdict_and_exit_code(self):
+        report = FuzzReport(
+            n_seeds=1,
+            windows_per_seed=1,
+            base_seed=0,
+            mode="warn",
+            crashes=["seed 0 window 1 kind empty: RuntimeError('boom')"],
+        )
+        assert not report.ok
+        assert "verdict: FINDINGS" in report.render()
+
+    def test_fuzz_command_ok(self):
+        text, code = fuzz_command(
+            n_seeds=2, windows=20, soak=False, base_seed=0, mode="warn"
+        )
+        assert code == 0
+        assert "verdict: OK" in text
+        assert "2 seeds x 20 windows" in text
+
+    def test_soak_variant_labelled_and_longer(self):
+        text, code = fuzz_command(
+            n_seeds=1, windows=None, soak=True, base_seed=0, mode="warn"
+        )
+        assert code == 0
+        assert text.startswith("soak:")
+        assert "1 seeds x 400 windows" in text
+
+
+class TestCli:
+    def test_repro_fuzz_smoke(self, capsys):
+        code = main(
+            ["fuzz", "--seeds", "2", "--windows", "15", "--base-seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+
+    def test_repro_fuzz_mode_flag(self, capsys):
+        code = main(
+            ["fuzz", "--seeds", "1", "--windows", "10", "--mode", "repair"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "supervisor mode repair" in out

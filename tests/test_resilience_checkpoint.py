@@ -22,6 +22,7 @@ from repro.core.online_hmm import OnlineHMM
 from repro.core.tracks import TrackManager
 from repro.resilience import (
     CHECKPOINT_FORMAT_VERSION,
+    CheckpointVersionError,
     load_checkpoint,
     restore,
     save_checkpoint,
@@ -212,6 +213,25 @@ class TestSnapshotRestore:
         payload["checkpoint_format_version"] = CHECKPOINT_FORMAT_VERSION + 1
         with pytest.raises(ValueError, match="checkpoint format version"):
             restore(payload)
+
+    def test_version_error_names_found_and_expected(self):
+        payload = snapshot(DetectionPipeline())
+        payload["checkpoint_format_version"] = 1  # pre-supervisor layout
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            restore(payload)
+        error = excinfo.value
+        assert isinstance(error, ValueError)  # old callers keep working
+        assert error.found == 1
+        assert error.expected == CHECKPOINT_FORMAT_VERSION
+        assert "found 1" in str(error)
+        assert f"expected {CHECKPOINT_FORMAT_VERSION}" in str(error)
+
+    def test_version_error_on_missing_version_field(self):
+        payload = snapshot(DetectionPipeline())
+        del payload["checkpoint_format_version"]
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            restore(payload)
+        assert excinfo.value.found is None
 
     def test_round_trip_property_mid_trace(self):
         """The headline guarantee: crash mid-trace, restore, and the rest

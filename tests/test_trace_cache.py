@@ -130,6 +130,69 @@ class TestTraceCache:
         assert len(list(tmp_path.glob("*.npz"))) == 1
 
 
+class TestQuarantine:
+    def corrupt(self, cache, spec, payload=b"this is not a zip archive"):
+        path = cache.path_for(spec)
+        path.write_bytes(payload)
+        return path
+
+    def test_corrupted_entry_is_a_miss_and_quarantined(
+        self, tmp_path, store_args
+    ):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        cache.store(spec, **store_args)
+        path = self.corrupt(cache, spec)
+
+        assert cache.load(spec) is None
+        assert (cache.hits, cache.misses, cache.quarantined) == (0, 1, 1)
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).is_file()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        path = cache.store(spec, **store_args)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load(spec) is None
+        assert cache.quarantined == 1
+
+    def test_missing_array_key_is_a_miss(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        path = cache.store(spec, **store_args)
+        with np.load(path, allow_pickle=False) as payload:
+            kept = {
+                key: payload[key]
+                for key in payload.files
+                if key != "values"
+            }
+        np.savez_compressed(path, **kept)
+        assert cache.load(spec) is None
+        assert cache.quarantined == 1
+
+    def test_restore_after_quarantine_round_trips(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        cache.store(spec, **store_args)
+        self.corrupt(cache, spec)
+        assert cache.load(spec) is None
+        cache.store(spec, **store_args)
+        entry = cache.load(spec)
+        assert entry is not None
+        np.testing.assert_array_equal(entry.values, store_args["values"])
+        assert (cache.hits, cache.misses, cache.quarantined) == (1, 1, 1)
+
+    def test_stats_line_reports_quarantines(self, tmp_path, store_args):
+        cache = TraceCache(tmp_path)
+        spec = scenario_spec("clean", n_days=1, seed=9)
+        assert "quarantined" not in cache.stats_line()
+        cache.store(spec, **store_args)
+        self.corrupt(cache, spec)
+        cache.load(spec)
+        assert cache.stats_line() == "cache: hits=0 misses=1 quarantined=1"
+
+
 class TestCampaignIntegration:
     def test_cold_and_hot_runs_are_identical(self, tmp_path):
         specs = [
