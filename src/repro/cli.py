@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro campaign clean stuck_at calibration --jobs 4
     python -m repro bench
     python -m repro bench --check --tolerance 0.3
+    python -m repro bench --profile
+    python -m repro parity --days 3 --seed 7
     python -m repro fuzz --seeds 100
     python -m repro fuzz --seeds 5 --soak
 
@@ -24,7 +26,11 @@ duplication, clock skew, collector crash + checkpoint restart) and
 prints the degradation report; ``campaign`` fans several scenarios out
 across worker processes and prints one verdict line each; ``bench``
 times the hot kernels and writes (or, with ``--check``, verifies)
-``BENCH_pipeline.json``; ``fuzz`` drives the pipeline with seeded
+``BENCH_pipeline.json`` (``--profile`` appends a cProfile table of the
+fused hot path); ``parity`` replays one trace through the per-window
+oracle and the fused fast path and exits non-zero unless digests,
+snapshots, and per-window results match exactly; ``fuzz`` drives the
+pipeline with seeded
 adversarial streams (NaN/Inf bursts, floods, coordinated corruption)
 and exits non-zero on any crash, invariant violation, or checkpoint
 round-trip divergence.
@@ -239,6 +245,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="best-of repetitions per kernel",
     )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a cProfile top-25 cumulative table for the fused "
+        "pipeline hot path",
+    )
+
+    parity = sub.add_parser(
+        "parity",
+        help="verify the fused fast path is bit-identical to the "
+        "per-window oracle",
+    )
+    parity.add_argument("--days", type=int, default=3)
+    parity.add_argument("--seed", type=int, default=7)
 
     return parser
 
@@ -382,7 +402,14 @@ def _cmd_bench(args: argparse.Namespace) -> "tuple[str, int]":
         ),
         n_jobs=args.jobs,
         repeats=args.repeats,
+        profile=args.profile,
     )
+
+
+def _cmd_parity(args: argparse.Namespace) -> "tuple[str, int]":
+    from . import perf
+
+    return perf.parity_command(n_days=args.days, seed=args.seed)
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> "tuple[str, int]":
@@ -434,6 +461,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "bench":
         text, code = _cmd_bench(args)
+        print(text)
+        return code
+    elif args.command == "parity":
+        text, code = _cmd_parity(args)
         print(text)
         return code
     elif args.command == "fuzz":

@@ -118,6 +118,9 @@ class OnlineStateClusterer:
         self.states = StateSet(initial_vectors)
         if len(self.states) == 0:
             raise ValueError("need at least one initial state")
+        #: Reused ``(N+1, d)`` buffer for the fused mean+observations
+        #: query (reallocated only when the window shape changes).
+        self._points_scratch: Optional[np.ndarray] = None
 
     # -- queries ---------------------------------------------------------
 
@@ -172,6 +175,9 @@ class OnlineStateClusterer:
         self,
         observations: np.ndarray,
         overall_mean: Optional[np.ndarray] = None,
+        *,
+        trusted: bool = False,
+        full_mean: Optional[np.ndarray] = None,
     ) -> ClusterUpdate:
         """Run one full clustering pass over a window's observations.
 
@@ -186,6 +192,18 @@ class OnlineStateClusterer:
             the post-update state set, replicating exactly what a
             subsequent ``maybe_spawn`` + ``identify_window`` pair used to
             do in separate scans.
+        trusted:
+            The caller certifies ``observations`` is a non-empty all-
+            finite float ``(N, d)`` array, ``overall_mean`` a finite
+            float ``(d,)`` array, and that it already holds
+            ``np.errstate(over="ignore")`` — the fused pipeline verifies
+            all three in its whole-trace prepass, so the per-window
+            coercions, finiteness guards, and fp-state saves are skipped.
+        full_mean:
+            Optional precomputed ``np.mean(observations, axis=0)``
+            (bit-identical, e.g. the prepass's grouped ``bincount``
+            sums).  Used by the Eq. 6 learning update when every row
+            lands in a single group — the common healthy window.
 
         Returns
         -------
@@ -193,6 +211,8 @@ class OnlineStateClusterer:
             Assignments (by pre-update positions), spawned and merged
             state ids, and the post-update identification inputs.
         """
+        if trusted:
+            return self._update_inner(observations, overall_mean, True, full_mean)
         observations = np.atleast_2d(np.asarray(observations, dtype=float))
         if observations.size == 0:
             return ClusterUpdate(assignments=[], spawned=[], merged=[])
@@ -200,26 +220,74 @@ class OnlineStateClusterer:
             # A single NaN/Inf row would poison every centroid it touches
             # through the Eq. 6 convex update; reject the window outright.
             raise ValueError("observations contain non-finite values")
+        # One fp-state save covers every distance kernel of the pass
+        # (huge-magnitude observations legitimately saturate to inf).
+        with np.errstate(over="ignore"):
+            return self._update_inner(observations, overall_mean, False, full_mean)
 
+    def _update_inner(
+        self,
+        observations: np.ndarray,
+        overall_mean: Optional[np.ndarray],
+        mean_checked: bool,
+        full_mean: Optional[np.ndarray] = None,
+    ) -> ClusterUpdate:
         # One (N, M) distance matrix against the pre-window states feeds
         # both the sequential spawn checks and the Eq. 3 assignments.
-        base_distances, base_ids = self.states.distances_to(observations)
+        base_distances, base_ids = self.states._distances_unguarded(observations)
         spawned = self._spawn_far_observations(observations, base_distances)
         assignments = self._assign_with_spawned(
             observations, base_distances, base_ids, spawned
         )
-        self._apply_learning_update(observations, assignments)
+        self._apply_learning_update(observations, assignments, full_mean)
         merged = self._merge_close_states()
 
         mean_spawned: Optional[int] = None
         sensor_assignments: List[int] = []
         observable_state: Optional[int] = None
         if overall_mean is not None:
-            mean_spawned = self.maybe_spawn(overall_mean)
-            # Final Eq. 2/3 pass: one batched query over the settled
-            # state set for all sensors plus the overall mean.
-            points = np.vstack([observations, np.atleast_2d(overall_mean)])
-            final = self.states.assign_batch(points)
+            # Fused mean-spawn check + final Eq. 2/3 pass: one batched
+            # ``(N+1, M)`` query over the settled state set feeds both
+            # (``maybe_spawn`` + ``assign_batch`` used to scan twice).
+            # A mean spawn appends its one distance column — same
+            # subtract/square/sum as a full recompute, and the new id is
+            # the largest so column order (and the argmin tie-break)
+            # matches a rebuilt matrix bit-for-bit.
+            if not mean_checked:
+                overall_mean = np.asarray(overall_mean, dtype=float)
+                if not np.all(np.isfinite(overall_mean)):
+                    raise ValueError(
+                        "cannot spawn a state at a non-finite position"
+                    )
+            n_rows = observations.shape[0]
+            scratch = self._points_scratch
+            if scratch is None or scratch.shape != (
+                n_rows + 1,
+                observations.shape[1],
+            ):
+                scratch = self._points_scratch = np.empty(
+                    (n_rows + 1, observations.shape[1])
+                )
+            scratch[:n_rows] = observations
+            scratch[n_rows] = overall_mean
+            points = scratch
+            distances, ids = self.states._distances_unguarded(points)
+            columns = np.argmin(distances, axis=1)
+            # The mean's distance to its nearest state IS the entry its
+            # argmin picked, so no separate ``.min()`` reduction runs.
+            mean_distance = float(distances[-1, columns[-1]])
+            if (
+                mean_distance > self.spawn_threshold
+                and len(self.states) < self.max_states
+            ):
+                state = self.states.spawn(points[-1])
+                mean_spawned = state.state_id
+                diff = points - state.vector
+                extra = np.sqrt(np.einsum("nd,nd->n", diff, diff))
+                distances = np.hstack([distances, extra[:, None]])
+                ids = list(ids) + [mean_spawned]
+                columns = np.argmin(distances, axis=1)
+            final = [ids[column] for column in columns]
             sensor_assignments = final[:-1]
             observable_state = final[-1]
         else:
@@ -252,6 +320,11 @@ class OnlineStateClusterer:
             if base_distances.shape[1]
             else np.full(observations.shape[0], np.inf)
         )
+        if not float(min_base.max()) > self.spawn_threshold:
+            # No observation clears the threshold against the pre-window
+            # states, so the sequential scan cannot spawn (states created
+            # mid-loop only ever *shrink* later rows' distances).
+            return spawned
         for row_index, row in enumerate(observations):
             distance = float(min_base[row_index])
             if spawned_vectors:
@@ -298,9 +371,37 @@ class OnlineStateClusterer:
         return [ids[column] for column in np.argmin(columns, axis=1)]
 
     def _apply_learning_update(
-        self, observations: np.ndarray, assignments: List[int]
-    ) -> None:
-        """Eq. 5 + Eq. 6: move each visited state toward its group mean."""
+        self,
+        observations: np.ndarray,
+        assignments: List[int],
+        full_mean: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        """Eq. 5 + Eq. 6: move each visited state toward its group mean.
+
+        ``full_mean``, when given, must equal
+        ``np.mean(observations, axis=0)`` bit-for-bit (see
+        :meth:`update`); it short-cuts the single-group reduction.
+        Returns the ids of the states that were moved, in group
+        first-occurrence order, so :meth:`update` knows which distance
+        columns went stale.
+        """
+        first = assignments[0]
+        if assignments.count(first) == len(assignments):
+            # Healthy-window fast path: every row landed in one group, so
+            # the group mean is the mean of the whole matrix (bit-equal
+            # to the mean of its copy) and only one centroid moves.
+            state = self.states.get(first)
+            group_mean = (
+                full_mean
+                if full_mean is not None
+                else np.mean(observations, axis=0)
+            )
+            self.states.update_vector(
+                first,
+                (1.0 - self.alpha) * state.vector + self.alpha * group_mean,
+            )
+            state.visits += 1
+            return [first]
         groups: Dict[int, List[int]] = {}
         for row_index, state_id in enumerate(assignments):
             groups.setdefault(state_id, []).append(row_index)
@@ -312,12 +413,19 @@ class OnlineStateClusterer:
                 (1.0 - self.alpha) * state.vector + self.alpha * group_mean,
             )
             state.visits += 1
+        return list(groups)
 
     def _merge_close_states(self) -> List["tuple[int, int]"]:
         """Repeatedly merge the closest pair while it is under threshold."""
         merged: List["tuple[int, int]"] = []
         while True:
-            pair = self.states.closest_pair()
+            if self.states.pair_distance_at_least(self.merge_threshold):
+                # The certified bound proves a scan could not find a pair
+                # under threshold — no merge would happen, no state would
+                # change, so skipping the scan leaves behaviour identical.
+                break
+            # Callers hold np.errstate(over="ignore") via ``update``.
+            pair = self.states._closest_pair_unguarded()
             if pair is None or pair[2] >= self.merge_threshold:
                 break
             first_id, second_id, _ = pair

@@ -127,7 +127,19 @@ def identify_window(
         observable_state = clusterer.assign(global_mean)
 
     # Eq. 4: the correct state is the one hosting the largest cluster.
-    counts = Counter(sensor_states.values())
+    values = list(sensor_states.values())
+    first = values[0]
+    if values.count(first) == len(values):
+        # Unanimous window (the healthy steady state): the only cluster
+        # is the majority — same answer the Counter scan would give.
+        return WindowIdentification(
+            observable_state=observable_state,
+            correct_state=first,
+            sensor_states=sensor_states,
+            majority_size=len(values),
+            n_sensors=len(per_sensor),
+        )
+    counts = Counter(values)
     majority_size = max(counts.values())
     # Deterministic tie-break: among equally large clusters prefer the
     # one closest to the global mean (ties on that are broken by id).

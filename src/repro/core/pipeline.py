@@ -20,6 +20,7 @@ Per window the pipeline:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
@@ -38,11 +39,53 @@ from .classification import (
     classify_track,
 )
 from .clustering import ClusterUpdate, OnlineStateClusterer
-from .filtering import FilterBank, FilterTransition
+from .filtering import FilterBank, FilterTransition, VectorFilterBank
 from .identification import WindowIdentification, identify_window
 from .markov import MarkovModel, estimate_markov_model
 from .online_hmm import OnlineHMM
 from .tracks import ErrorAttackTrack, TrackManager
+
+class _SteadyStretch:
+    """Mutable context for one certified steady-state stretch.
+
+    Tracks the Python-float evolution of the unanimous centroid (``c``),
+    the static other-state vectors the certificates are measured
+    against, and the deferred visit / alarm-history / filter-advance
+    counts folded back into the live modules at stretch exit.
+    """
+
+    __slots__ = (
+        "sid",
+        "c",
+        "visits",
+        "others",
+        "zeros",
+        "steady_ids",
+        "alarm_count",
+        "filter_defer",
+        "filter_count",
+    )
+
+    def __init__(
+        self, sid: int, c: List[float], others: List[List[float]]
+    ) -> None:
+        self.sid = sid
+        self.c = c
+        self.visits = 0
+        #: vectors of every *other* live state (static for the whole
+        #: stretch — a move/spawn/merge would have ended it)
+        self.others = others
+        #: per-sensor-count cached all-False raw-alarm arrays
+        self.zeros: Dict[int, np.ndarray] = {}
+        #: the stretch's sensor-id set (pinned on the first certified
+        #: window; a different set breaks the stretch)
+        self.steady_ids: Optional[List[int]] = None
+        #: alarm-history windows deferred for batch append at exit
+        self.alarm_count = 0
+        #: True when the filter bank certified all-False quiescence
+        self.filter_defer = False
+        #: filter windows deferred for ``advance_quiescent`` at exit
+        self.filter_count = 0
 
 
 @dataclass(frozen=True)
@@ -116,7 +159,10 @@ class DetectionPipeline:
         )
         self.correct_sequence: List[int] = []
         self.observable_sequence: List[int] = []
-        self.results: List[WindowResult] = []
+        #: Materialized per-window results plus the fused path's pending
+        #: constructor-argument tuples; see the ``results`` property.
+        self._results: List[WindowResult] = []
+        self._pending_results: List[tuple] = []
         self._n_windows = 0
         #: Non-finite per-sensor readings dropped by the input guard.
         self.n_non_finite_dropped = 0
@@ -311,6 +357,481 @@ class DetectionPipeline:
         windows = window_trace_columnar(trace, self.config.window_minutes)
         return [self.process_window(window) for window in windows]
 
+    # -- the fused whole-trace fast path ----------------------------------
+
+    @property
+    def results(self) -> List[WindowResult]:
+        """Per-window :class:`WindowResult` log.
+
+        The fused path records lightweight argument tuples instead of
+        building the frozen dataclasses inline; they materialize here on
+        first access, so campaigns that only read digests/alarms never
+        pay for them.
+        """
+        if self._pending_results:
+            pending = self._pending_results
+            self._pending_results = []
+            self._results.extend(
+                _materialize_result(entry) for entry in pending
+            )
+        return self._results
+
+    def _vector_filter_bank(self) -> Optional[VectorFilterBank]:
+        """The current filter state as a :class:`VectorFilterBank`.
+
+        ``None`` when the configuration's filter factory is not one of
+        the three stock filters, or when the scalar bank holds per-sensor
+        state the homogeneous vector bank cannot represent (e.g. a
+        checkpoint restored under a different filter configuration) —
+        the fused path then falls back to the per-window oracle.
+        """
+        try:
+            bank = VectorFilterBank.from_prototype(self.filter_bank.factory())
+            bank.load_state_dict(self.filter_bank.state_dict())
+        except (ValueError, TypeError):
+            return None
+        return bank
+
+    def process_trace_fast(self, trace) -> int:
+        """Fused struct-of-arrays variant of :meth:`process_trace`.
+
+        Windows the trace columnarly and consumes it through
+        :meth:`process_windows_fast`; every piece of resulting pipeline
+        state (digest, alarms, filters, tracks, HMMs, supervisor
+        verdicts) is bit-identical to :meth:`process_trace`.  Returns
+        the number of windows consumed; the per-window results are
+        available lazily through :attr:`results`.
+        """
+        from ..traces.windows import window_trace_columnar
+
+        windows = window_trace_columnar(trace, self.config.window_minutes)
+        return self.process_windows_fast(windows)
+
+    def process_windows_fast(self, windows: Sequence[ObservationWindow]) -> int:
+        """Consume many windows through the struct-of-arrays fast path.
+
+        Identical state evolution to calling :meth:`process_window` per
+        window (the oracle), but: per-sensor window means come from one
+        whole-trace grouped ``bincount`` pass, alarm filters advance
+        through a :class:`VectorFilterBank`, track recording goes
+        through ``TrackManager.record_window_batch``, and
+        :class:`WindowResult` construction is deferred (see
+        :attr:`results`).  Falls back to the oracle loop when the filter
+        bank cannot be vectorized (heterogeneous state or a custom
+        factory); windows whose means need the non-finite drop path are
+        sanitized individually.
+        """
+        vector_bank = self._vector_filter_bank()
+        if vector_bank is None:
+            for window in windows:
+                self.process_window(window)
+            return len(windows)
+        stats = _batched_window_means(windows)
+        scalar_bank = self.filter_bank
+        self.filter_bank = vector_bank  # live filter state during the run
+        steady: Optional[_SteadyStretch] = None
+        try:
+            # One fp-state save for the whole run; the trusted clusterer
+            # kernels rely on it (huge observations saturate to inf).
+            with np.errstate(over="ignore"):
+                for i, window in enumerate(windows):
+                    stat = stats[i]
+                    if steady is not None:
+                        if self._steady_step(window, stat, i, steady):
+                            continue
+                        self._steady_exit(steady)
+                        steady = None
+                    hint = self._process_window_fast(
+                        window, stat, vector_bank
+                    )
+                    if hint is not None and self.supervisor is None:
+                        steady = self._steady_enter(hint)
+        finally:
+            if steady is not None:
+                self._steady_exit(steady)
+            # Fold the vector state back into the scalar bank so
+            # checkpoints and later per-window calls continue from it.
+            scalar_bank.load_state_dict(vector_bank.state_dict())
+            self.filter_bank = scalar_bank
+        return len(windows)
+
+    def _process_window_fast(
+        self,
+        window: ObservationWindow,
+        stat: "Optional[tuple]",
+        vector_bank: VectorFilterBank,
+    ) -> Optional[int]:
+        """One fused-path window step (mirrors :meth:`process_window`).
+
+        Returns the unanimous state id when the window qualifies as a
+        steady-stretch entry point (see ``_steady_step``), else None.
+        """
+        self._n_windows += 1
+        supervisor = self.supervisor
+        per_sensor: Optional[Dict[int, np.ndarray]] = None
+        trusted = False
+        full_mean: Optional[np.ndarray] = None
+        if stat is None:
+            # Slow lane: message-backed window or non-finite means —
+            # run the oracle's sanitizer (and its raises) verbatim.
+            per_sensor, overall_mean = self._sanitize(window)
+            if per_sensor:
+                ids_first = list(per_sensor.keys())
+                ids_sorted = sorted(ids_first)
+                id_array = np.asarray(ids_sorted, dtype=np.int64)
+                observations = np.vstack([per_sensor[s] for s in ids_sorted])
+                position = {s: i for i, s in enumerate(ids_sorted)}
+                order_first: Sequence[int] = [position[s] for s in ids_first]
+            else:
+                ids_sorted = []
+        else:
+            (
+                ids_sorted,
+                id_array,
+                observations,
+                order_first,
+                overall_mean,
+                full_mean,
+            ) = stat[:6]
+            if overall_mean is None:
+                overall_mean = window.overall_mean()
+            else:
+                trusted = True
+        if not ids_sorted:
+            frozen = (
+                supervisor.learning_frozen if supervisor is not None else False
+            )
+            self._pending_results.append(
+                (window.index, True, None, None, (), (), 0, frozen)
+            )
+            if supervisor is not None:
+                supervisor.after_window(self)
+            return
+        if self.clusterer is None:
+            if per_sensor is None:
+                per_sensor = {
+                    ids_sorted[p]: observations[p] for p in order_first
+                }
+            self._bootstrap_clusterer(per_sensor)
+        assert self.clusterer is not None
+        assert overall_mean is not None
+
+        cluster_update = self.clusterer.update(
+            observations,
+            overall_mean=overall_mean,
+            trusted=trusted,
+            full_mean=full_mean,
+        )
+        assignments = cluster_update.sensor_assignments
+        # Keyed in the window's first-occurrence order, exactly like the
+        # oracle's per_sensor-driven dict (alarm bookkeeping follows it).
+        sensor_states = {ids_sorted[p]: assignments[p] for p in order_first}
+        identification = identify_window(
+            self.clusterer,
+            # Only len()/truthiness of per_sensor is read when
+            # precomputed states are supplied; the assignment dict has
+            # the same keys as the per-sensor means.
+            sensor_states,
+            overall_mean=overall_mean,
+            sensor_states=sensor_states,
+            observable_state=cluster_update.observable_state,
+        )
+
+        raw_alarms = self.alarm_generator.process(window.index, identification)
+        correct = identification.correct_state
+        transitions = vector_bank.update_batch(
+            window.index,
+            id_array,
+            [state_id != correct for state_id in assignments],
+            assume_sorted=True,
+        )
+        for transition in transitions:
+            if transition.raised:
+                self.tracks.open_track(transition.sensor_id, window.index)
+            else:
+                self.tracks.close_track(transition.sensor_id, window.index)
+
+        frozen = (
+            supervisor.observe_identification(window.index, identification)
+            if supervisor is not None
+            else False
+        )
+        if not frozen:
+            self.tracks.record_window_batch(correct, ids_sorted, assignments)
+            self.m_co.observe(correct, identification.observable_state)
+            self.correct_sequence.append(correct)
+            self.observable_sequence.append(identification.observable_state)
+
+        self._pending_results.append(
+            (
+                window.index,
+                False,
+                identification,
+                cluster_update,
+                tuple(raw_alarms),
+                tuple(transitions),
+                self.clusterer.n_states,
+                frozen,
+            )
+        )
+        if supervisor is not None:
+            supervisor.after_window(self)
+            return None
+        # Steady-stretch entry hint: a trusted window that ended
+        # unanimous with no structural change is a candidate for the
+        # certified fast lane (see ``_steady_step``).
+        if (
+            trusted
+            and full_mean is not None
+            and cluster_update.mean_spawned is None
+            and not cluster_update.spawned
+            and not cluster_update.merged
+        ):
+            n = len(assignments)
+            c = assignments[0]
+            if (
+                assignments.count(c) == n
+                and cluster_update.observable_state == c
+                and cluster_update.assignments.count(c) == n
+            ):
+                return c
+        return None
+
+    # -- certified steady-state stretch ---------------------------------
+    #
+    # The dominant regime of a healthy trace is: every sensor mean maps
+    # to the same state c, nothing spawns or merges, and only c moves
+    # (one Eq. 6 step toward the window mean).  In that regime the whole
+    # window's observable behaviour is determined by integers already
+    # known (all assignments = c), and the only float state that evolves
+    # outside the filter/HMM modules is c's vector — a per-window scalar
+    # recurrence `c <- (1-alpha)*c + alpha*g` that Python floats compute
+    # with the exact same two roundings per element as the oracle's
+    # NumPy expression.
+    #
+    # The stretch path therefore skips the distance kernels entirely and
+    # instead *proves*, per window and in a handful of scalar float ops,
+    # that the oracle would have produced the unanimous no-change
+    # outcome.  With g the window centroid (the precomputed full group
+    # mean), s the precomputed spread (max distance from g to any of the
+    # window's points, overall mean included), and delta the length of
+    # c's Eq. 6 step this window, the triangle inequality gives for
+    # every window point p, against both the pre-move c and the
+    # post-move c (which is at most delta farther from everything):
+    #
+    # * d(p, c) <= d(g, c) + s + delta — so
+    #   ``d(g, c) + s + delta <= spawn_threshold`` rules out every spawn
+    #   check (they all need a distance *above* the threshold), the
+    #   overall-mean spawn included.
+    # * d(p, X) >= d(g, X) - s for any other state X — so
+    #   ``d(g, c) + 2 s + delta < min_X d(g, X)`` keeps every point
+    #   strictly nearer to c than to any other state, and every argmin
+    #   (the tie-break included) lands on c, for Eq. 3 and the Eq. 2
+    #   overall-mean assignment alike.
+    # * the certified pair-distance lower bound (see ``StateSet``),
+    #   decayed by delta, staying >= merge_threshold rules out merges.
+    #
+    # Every certificate is padded by an absolute + relative slack so
+    # float rounding in these scalar evaluations can never certify a
+    # window the oracle would have handled differently.  Any window
+    # whose certificate fails simply exits the stretch (deferred state
+    # is written back first) and reprocesses through the full fused
+    # path — certification is a pure go/no-go, never a result.
+
+    def _steady_enter(self, state_id: int) -> "_SteadyStretch":
+        assert self.clusterer is not None
+        states = self.clusterer.states
+        matrix, ids = states._ensure_cache()
+        state = states.get(state_id)
+        others = [
+            (sid, row)
+            for row, sid in zip(matrix.tolist(), ids)
+            if sid != state_id
+        ]
+        return _SteadyStretch(
+            state_id, [float(x) for x in state.vector], others
+        )
+
+    def _steady_step(
+        self,
+        window: ObservationWindow,
+        stat: "Optional[tuple]",
+        i: int,
+        ctx: "_SteadyStretch",
+    ) -> bool:
+        """Process one window inside a certified stretch.
+
+        Returns False — mutating nothing — when the window cannot be
+        certified; the caller then writes the deferred state back and
+        runs the full fused path on the same window.
+        """
+        if stat is None:
+            return False
+        full_mean = stat[5]
+        spread = stat[6]
+        if full_mean is None or spread is None:
+            return False
+        ids_sorted = stat[0]
+        if ctx.steady_ids is None:
+            # First certified window pins the stretch's sensor set and
+            # decides once whether filter updates can be deferred.
+            ctx.steady_ids = ids_sorted
+            ctx.filter_defer = self.filter_bank.quiescent_all_false(stat[1])
+        elif ids_sorted != ctx.steady_ids:
+            # A different sensor population invalidates the deferred
+            # alarm/filter bookkeeping — rejoin the full path.
+            return False
+        clusterer = self.clusterer
+        assert clusterer is not None
+        goal = full_mean.tolist()
+        c = ctx.c
+        alpha = clusterer.alpha
+        keep = 1.0 - alpha
+        dims = len(c)
+        new_c = list(c)
+        moved_sq = 0.0
+        gc_sq = 0.0
+        for t in range(dims):
+            g_t = goal[t]
+            c_t = c[t]
+            value = keep * c_t + alpha * g_t
+            new_c[t] = value
+            step = value - c_t
+            moved_sq += step * step
+            away = g_t - c_t
+            gc_sq += away * away
+        delta = math.sqrt(moved_sq)
+        reach = math.sqrt(gc_sq) + spread + delta
+        min_other_sq = math.inf
+        second_sq = math.inf
+        min_idx = -1
+        for idx, (_, vector) in enumerate(ctx.others):
+            acc = 0.0
+            for t in range(dims):
+                diff = goal[t] - vector[t]
+                acc += diff * diff
+            if acc < min_other_sq:
+                second_sq = min_other_sq
+                min_other_sq = acc
+                min_idx = idx
+            elif acc < second_sq:
+                second_sq = acc
+        min_other = math.sqrt(min_other_sq)
+        pad = 1e-9 + 1e-12 * (reach + spread)
+        if (
+            reach + pad <= clusterer.spawn_threshold
+            and reach + spread + pad < min_other * (1.0 - 1e-12) - 1e-9
+        ):
+            bound = clusterer.states.peek_decayed_pair_bound(delta)
+            if bound is None or not bound >= clusterer.merge_threshold:
+                return False
+            clusterer.states.commit_pair_bound(bound)
+            ctx.c = new_c
+            ctx.visits += 1
+        elif min_idx >= 0 and min_other_sq < gc_sq:
+            # The window centroid sits strictly inside another state's
+            # basin: the environment transitioned.  Certify the window
+            # against that nearest state c' directly — every point is
+            # within ``spread`` of g, so d(p, c') <= d(g, c') + spread
+            # pre-move (+ delta2 post-move), and the margin against any
+            # third state (or the old stretch state, which does not move
+            # this window) is bounded below by ``second_min``.  Success
+            # hands the stretch off to c' without leaving the fast loop.
+            new_sid, target = ctx.others[min_idx]
+            new_c2 = list(target)
+            moved2_sq = 0.0
+            for t in range(dims):
+                c_t = target[t]
+                value = keep * c_t + alpha * goal[t]
+                new_c2[t] = value
+                step = value - c_t
+                moved2_sq += step * step
+            delta2 = math.sqrt(moved2_sq)
+            reach2 = min_other + spread + delta2
+            second_min = min(math.sqrt(gc_sq), math.sqrt(second_sq))
+            pad2 = 1e-9 + 1e-12 * (reach2 + spread)
+            if not (
+                reach2 + pad2 <= clusterer.spawn_threshold
+                and reach2 + spread + pad2
+                < second_min * (1.0 - 1e-12) - 1e-9
+            ):
+                return False
+            bound = clusterer.states.peek_decayed_pair_bound(delta2)
+            if bound is None or not bound >= clusterer.merge_threshold:
+                return False
+            clusterer.states.commit_pair_bound(bound)
+            if ctx.visits:
+                clusterer.states.apply_steady_motion(
+                    ctx.sid, ctx.c, ctx.visits
+                )
+            ctx.others[min_idx] = (ctx.sid, ctx.c)
+            ctx.sid = new_sid
+            ctx.c = new_c2
+            ctx.visits = 1
+        else:
+            return False
+
+        # -- certified: commit the window ------------------------------
+        ctx.alarm_count += 1
+        self._n_windows += 1
+        c_id = ctx.sid
+        n = len(ids_sorted)
+        if ctx.filter_defer:
+            ctx.filter_count += 1
+            transitions: "tuple" = ()
+        else:
+            raws = ctx.zeros.get(n)
+            if raws is None:
+                raws = ctx.zeros[n] = np.zeros(n, dtype=bool)
+            transitions = tuple(
+                self.filter_bank.update_batch(
+                    window.index, stat[1], raws, assume_sorted=True
+                )
+            )
+            for transition in transitions:
+                if transition.raised:  # pragma: no cover - all-False input
+                    self.tracks.open_track(transition.sensor_id, window.index)
+                else:
+                    self.tracks.close_track(transition.sensor_id, window.index)
+        self.tracks.record_window_batch(c_id, ids_sorted, [c_id] * n)
+        self.m_co.observe(c_id, c_id)
+        self.correct_sequence.append(c_id)
+        self.observable_sequence.append(c_id)
+        self._pending_results.append(
+            (
+                window.index,
+                "steady",
+                c_id,
+                ids_sorted,
+                stat[3],
+                transitions,
+                clusterer.n_states,
+                None,
+            )
+        )
+        return True
+
+    def _steady_exit(self, ctx: "_SteadyStretch") -> None:
+        """Fold the deferred stretch state back into the live modules:
+        the Python-evolved centroid, the all-False alarm history runs,
+        and the quiescent filter-bank position advances."""
+        if ctx.visits:
+            assert self.clusterer is not None
+            self.clusterer.states.apply_steady_motion(
+                ctx.sid, ctx.c, ctx.visits
+            )
+        if ctx.alarm_count and ctx.steady_ids is not None:
+            history = self.alarm_generator.history
+            tail = [False] * ctx.alarm_count
+            for sensor_id in ctx.steady_ids:
+                series = history.get(sensor_id)
+                if series is None:
+                    history[sensor_id] = list(tail)
+                else:
+                    series.extend(tail)
+        if ctx.filter_count:
+            self.filter_bank.advance_quiescent(ctx.filter_count)
+
     def digest(self) -> str:
         """Content hash of everything the evaluation reads off a run.
 
@@ -482,3 +1003,211 @@ class DetectionPipeline:
         if prune:
             model = model.prune(self.config.prune_visit_fraction)
         return model
+
+
+def _materialize_result(entry: tuple) -> WindowResult:
+    """Build one :class:`WindowResult` from a deferred pending entry.
+
+    Two entry shapes exist: the general fused-path tuple mirroring the
+    ``WindowResult`` fields, and the compact steady-stretch marker
+    (``entry[1] == "steady"``) holding just the unanimous state id and
+    sensor ordering — the identification and cluster-update objects a
+    unanimous window implies are reconstructed here, off the hot loop.
+    """
+    if entry[1] == "steady":
+        (
+            window_index,
+            _,
+            state_id,
+            ids_sorted,
+            order_first,
+            transitions,
+            n_model_states,
+            _,
+        ) = entry
+        n = len(ids_sorted)
+        assignments = [state_id] * n
+        identification = WindowIdentification(
+            observable_state=state_id,
+            correct_state=state_id,
+            sensor_states={ids_sorted[p]: state_id for p in order_first},
+            majority_size=n,
+            n_sensors=n,
+        )
+        cluster_update = ClusterUpdate(
+            assignments=assignments,
+            spawned=[],
+            merged=[],
+            sensor_assignments=assignments,
+            observable_state=state_id,
+            mean_spawned=None,
+        )
+        return WindowResult(
+            window_index=window_index,
+            skipped=False,
+            identification=identification,
+            cluster_update=cluster_update,
+            raw_alarms=(),
+            filter_transitions=transitions,
+            n_model_states=n_model_states,
+            learning_frozen=False,
+        )
+    (
+        window_index,
+        skipped,
+        identification,
+        cluster_update,
+        raw_alarms,
+        transitions,
+        n_model_states,
+        frozen,
+    ) = entry
+    return WindowResult(
+        window_index=window_index,
+        skipped=skipped,
+        identification=identification,
+        cluster_update=cluster_update,
+        raw_alarms=raw_alarms,
+        filter_transitions=transitions,
+        n_model_states=n_model_states,
+        learning_frozen=frozen,
+    )
+
+
+def _batched_window_means(
+    windows: Sequence[ObservationWindow],
+) -> "List[Optional[tuple]]":
+    """Whole-trace per-window per-sensor means in one grouped pass.
+
+    Returns one entry per window: ``(sorted_sensor_ids,
+    sorted_sensor_id_array, means_matrix, first_occurrence_order,
+    overall_mean, full_group_mean)`` where ``means_matrix`` rows follow
+    ``sorted_sensor_ids`` (given both as a plain-int list for dict keys
+    and as the equivalent ``int64`` array for the vector filter bank),
+    ``first_occurrence_order`` permutes sorted positions into the
+    window's first-occurrence order (the dict order
+    ``ArrayWindow.per_sensor_mean`` produces), and ``overall_mean`` is
+    the window's Eq. 2 mean (``None`` for single-attribute traces,
+    which compute it per window) — or the whole entry is ``None`` when
+    the window must go through ``DetectionPipeline._sanitize`` instead
+    (message-backed, empty, or holding any non-finite mean).
+
+    Bit-identity with the per-window path: every group's sum is an
+    ``np.bincount`` accumulation over the same values in the same row
+    order (bincount adds sequentially in input order, so grouping per
+    trace or per window yields the same float), divided by the same
+    counts.
+    """
+    from ..sensornet.collector import ArrayWindow
+
+    stats: List[Optional[tuple]] = [None] * len(windows)
+    keep = [
+        i
+        for i, window in enumerate(windows)
+        if isinstance(window, ArrayWindow) and window.observations.shape[0] > 0
+    ]
+    if not keep:
+        return stats
+    ids_all = np.concatenate([windows[i].sensor_id_array for i in keep])
+    obs_all = np.vstack([windows[i].observations for i in keep])
+    lengths = [windows[i].observations.shape[0] for i in keep]
+    window_of = np.repeat(np.arange(len(keep)), lengths)
+    unique_ids, codes = np.unique(ids_all, return_inverse=True)
+    n_codes = len(unique_ids)
+    keys = window_of * n_codes + codes
+    total = len(keep) * n_codes
+    counts = np.bincount(keys, minlength=total)
+    sums = np.empty((total, obs_all.shape[1]))
+    for column in range(obs_all.shape[1]):
+        sums[:, column] = np.bincount(
+            keys, weights=obs_all[:, column], minlength=total
+        )
+    present, first_rows = np.unique(keys, return_index=True)
+    means = sums[present] / counts[present][:, None]
+    # Finiteness is always resolved here (one bulk pass) so the fused
+    # loop can hand the clusterer pre-certified inputs: windows with any
+    # non-finite mean take the per-window slow lane, where the oracle's
+    # own sanitize/raise behaviour applies verbatim.
+    finite_ok = np.isfinite(means).all(axis=1)
+    n_attributes = obs_all.shape[1]
+    if n_attributes >= 2:
+        # ``mean(axis=0)`` over a C-order (N, d>=2) matrix reduces each
+        # column over *strided* data, which NumPy sums sequentially —
+        # the same order ``bincount`` accumulates — so these grouped
+        # overall means are bit-identical to the per-window
+        # ``window.overall_mean()`` calls they replace.  (A d == 1
+        # column is contiguous and takes pairwise summation instead,
+        # so those windows compute their mean per window.)
+        row_counts = np.asarray(lengths, dtype=np.int64)
+        overall = np.empty((len(keep), n_attributes))
+        for column in range(n_attributes):
+            overall[:, column] = np.bincount(
+                window_of, weights=obs_all[:, column], minlength=len(keep)
+            )
+        overall /= row_counts[:, None]
+        overall_finite = np.isfinite(overall).all(axis=1)
+        # Mean of each window's per-sensor means (the Eq. 6 group mean
+        # whenever a window's rows all land in one state — the healthy
+        # steady state).  Same strided-sequential == bincount argument as
+        # above; ``present`` is ascending, so rows group in order.
+        group_of = present // n_codes
+        rows_per = np.bincount(group_of, minlength=len(keep))
+        group_means = np.empty((len(keep), n_attributes))
+        for column in range(n_attributes):
+            group_means[:, column] = np.bincount(
+                group_of, weights=means[:, column], minlength=len(keep)
+            )
+        group_means /= rows_per[:, None]
+    else:
+        overall = None
+        overall_finite = None
+        group_means = None
+    bounds = np.searchsorted(present, np.arange(len(keep) + 1) * n_codes)
+    # One bulk reduction each; per-window re-checks only run on the rare
+    # trace that actually contains a non-finite mean.
+    all_finite = bool(finite_ok.all())
+    all_overall_finite = overall_finite is None or bool(overall_finite.all())
+    if overall is not None:
+        # Per-window point spread: the largest distance from the window
+        # centroid (the group mean) to any of the window's points —
+        # sensor means and the overall mean.  One whole-trace kernel;
+        # the steady-stretch certifier turns it into per-window spawn /
+        # unanimity bounds via the triangle inequality without ever
+        # touching the point arrays again.  Overflow/NaN just disables
+        # certification for that window (comparisons come out False).
+        with np.errstate(over="ignore", invalid="ignore"):
+            group_of_means = group_means[group_of]
+            sdiff = means - group_of_means
+            sdist = np.sqrt(np.einsum("nd,nd->n", sdiff, sdiff))
+            spread = np.maximum.reduceat(sdist, bounds[:-1])
+            odiff = overall - group_means
+            odist = np.sqrt(np.einsum("nd,nd->n", odiff, odiff))
+            np.maximum(spread, odist, out=spread)
+        spreads = spread.tolist()
+    else:
+        spreads = None
+    for k, i in enumerate(keep):
+        a, b = bounds[k], bounds[k + 1]
+        if not all_finite and not bool(finite_ok[a:b].all()):
+            continue  # slow lane: per-window sanitize handles these
+        if (
+            not all_overall_finite
+            and overall_finite is not None
+            and not bool(overall_finite[k])
+        ):
+            continue  # slow lane: the oracle raises on a non-finite mean
+        id_array = unique_ids[present[a:b] - k * n_codes].astype(
+            np.int64, copy=False
+        )
+        sensor_ids = id_array.tolist()
+        order_first = np.argsort(first_rows[a:b], kind="stable").tolist()
+        stats[i] = (
+            sensor_ids,
+            id_array,
+            means[a:b],
+            order_first,
+            overall[k] if overall is not None else None,
+            group_means[k] if group_means is not None else None,
+            spreads[k] if spreads is not None else None,
+        )
+    return stats

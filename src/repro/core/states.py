@@ -24,6 +24,7 @@ equivalence property tests).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -104,6 +105,26 @@ class StateSet:
         #: plus the ids labelling its rows.  ``None`` marks it stale.
         self._matrix: Optional[np.ndarray] = None
         self._matrix_ids: Optional[List[int]] = None
+        #: Incrementally maintained ``(M, M)`` pairwise-distance matrix
+        #: behind :meth:`closest_pair` (upper triangle only; diagonal and
+        #: below pinned to ``inf``).  Structural edits patch it in place
+        #: (spawn appends an inf row/col, merge/expel delete one);
+        #: centroids moved via :meth:`update_vector`/:meth:`merge` land
+        #: in ``_pair_dirty`` and only their rows/columns are recomputed
+        #: on the next query.  ``None`` means "rebuild from scratch".
+        self._pair_matrix: Optional[np.ndarray] = None
+        self._pair_ids: Optional[List[int]] = None
+        self._pair_dirty: "set[int]" = set()
+        #: Certified lower bound on the current minimum pairwise distance,
+        #: or ``None`` when unknown.  Set to the found minimum after every
+        #: :meth:`closest_pair` scan; an Eq. 6 move of magnitude ``δ`` can
+        #: shrink any distance by at most ``δ`` (triangle inequality), so
+        #: :meth:`update_vector` decays the bound instead of voiding it.
+        #: Spawns and merges introduce/relocate pairs unpredictably and
+        #: reset it.  Every decay over-subtracts a relative slack so
+        #: floating-point drift can never certify a distance the next
+        #: scan would actually measure below the bound.
+        self._pair_min_bound: Optional[float] = None
         if initial_vectors is not None:
             for vector in initial_vectors:
                 self.spawn(vector)
@@ -151,6 +172,8 @@ class StateSet:
         table itself is left untouched so checkpoints of identical runs
         stay byte-identical regardless of query history.
         """
+        if not self._aliases:
+            return list(state_ids)
         memo: Dict[int, int] = {}
         resolved: List[int] = []
         for state_id in state_ids:
@@ -175,6 +198,28 @@ class StateSet:
     def _invalidate(self) -> None:
         self._matrix = None
         self._matrix_ids = None
+        self._pair_matrix = None
+        self._pair_ids = None
+        self._pair_dirty.clear()
+        self._pair_min_bound = None
+
+    def _pair_forget(self, state_id: int) -> None:
+        """Drop one state's row/column from the pairwise-distance cache."""
+        if self._pair_matrix is None:
+            return
+        assert self._pair_ids is not None
+        try:
+            idx = self._pair_ids.index(state_id)
+        except ValueError:  # pragma: no cover - defensive
+            self._pair_matrix = None
+            self._pair_ids = None
+            self._pair_dirty.clear()
+            return
+        self._pair_matrix = np.delete(
+            np.delete(self._pair_matrix, idx, axis=0), idx, axis=1
+        )
+        self._pair_ids.pop(idx)
+        self._pair_dirty.discard(state_id)
 
     def _ensure_cache(self) -> "tuple[np.ndarray, List[int]]":
         """The ``(M, d)`` vector matrix and its row ids, rebuilt if stale."""
@@ -197,11 +242,32 @@ class StateSet:
         cached matrix stale.
         """
         state = self.get(state_id)
+        old = state.vector
         state.vector = np.asarray(vector, dtype=float)
         if self._matrix is not None:
             assert self._matrix_ids is not None
             row = self._matrix_ids.index(state.state_id)
             self._matrix[row] = state.vector
+        if self._pair_matrix is not None:
+            self._pair_dirty.add(state.state_id)
+        bound = self._pair_min_bound
+        if bound is not None:
+            # A move of magnitude δ shrinks any pairwise distance by at
+            # most δ.  Over-subtract a relative slack so rounding in the
+            # decay (or in the distances themselves) can never leave the
+            # bound above what the next scan would measure.  A NaN move
+            # poisons the bound, forcing a scan — the conservative side.
+            # Python-float accumulation: the vectors are tiny (d = 2 for
+            # the paper's deployments) and this runs once per Eq. 6
+            # update, so small-array NumPy overhead would dominate.
+            moved_sq = 0.0
+            for a, b in zip(state.vector.tolist(), old.tolist()):
+                step = a - b
+                moved_sq += step * step
+            delta = math.sqrt(moved_sq)
+            self._pair_min_bound = (
+                (bound - delta) - (abs(bound) + delta) * 1e-12
+            )
 
     # -- structural operations ------------------------------------------
 
@@ -212,7 +278,20 @@ class StateSet:
         self._next_id += 1
         if self._dim is None:
             self._dim = int(state.vector.shape[0])
-        self._invalidate()
+        self._matrix = None
+        self._matrix_ids = None
+        if self._pair_matrix is not None:
+            assert self._pair_ids is not None
+            # Fresh ids are strictly increasing, so appending keeps the
+            # cache's id order sorted (matching ``_ensure_cache``).
+            m = len(self._pair_ids)
+            grown = np.full((m + 1, m + 1), np.inf)
+            grown[:m, :m] = self._pair_matrix
+            self._pair_matrix = grown
+            self._pair_ids.append(state.state_id)
+            self._pair_dirty.add(state.state_id)
+        # The newcomer's pair distances are unknown until the next scan.
+        self._pair_min_bound = None
         return state
 
     def expel(self, state_id: int, alias_to: Optional[int] = None) -> None:
@@ -234,7 +313,9 @@ class StateSet:
             if target not in self._states:
                 raise KeyError(alias_to)
             self._aliases[state_id] = target
-        self._invalidate()
+        self._matrix = None
+        self._matrix_ids = None
+        self._pair_forget(state_id)
 
     def alias_defects(self) -> List[str]:
         """Integrity problems in the alias table (empty when healthy).
@@ -309,7 +390,14 @@ class StateSet:
         keep.vector = weight_keep * keep.vector + (1 - weight_keep) * drop.vector
         keep.visits += drop.visits
         self._aliases[drop_id] = keep_id
-        self._invalidate()
+        self._matrix = None
+        self._matrix_ids = None
+        self._pair_forget(drop_id)
+        if self._pair_matrix is not None:
+            self._pair_dirty.add(keep_id)
+        # The survivor teleported to the weighted mean; its new pair
+        # distances are unbounded below, so the certified bound dies.
+        self._pair_min_bound = None
         return keep
 
     # -- queries ----------------------------------------------------------
@@ -322,16 +410,23 @@ class StateSet:
         :meth:`nearest`, :meth:`assign_batch` and the clusterer's
         one-pass window update.
         """
-        matrix, ids = self._ensure_cache()
         points = np.atleast_2d(np.asarray(points, dtype=float))
-        if not ids:
-            return np.zeros((points.shape[0], 0)), ids
         # Huge-magnitude observations (~1e300, seen under adversarial
         # floods) legitimately saturate their squared distances to inf;
         # comparisons against thresholds and argmin stay well-defined.
         with np.errstate(over="ignore"):
-            diff = points[:, None, :] - matrix[None, :, :]
-            return np.sqrt(np.einsum("nmd,nmd->nm", diff, diff)), ids
+            return self._distances_unguarded(points)
+
+    def _distances_unguarded(
+        self, points: np.ndarray
+    ) -> "tuple[np.ndarray, List[int]]":
+        """:meth:`distances_to` body for hot callers that already hold a
+        float ``(N, d)`` matrix and ``np.errstate(over="ignore")``."""
+        matrix, ids = self._ensure_cache()
+        if not ids:
+            return np.zeros((points.shape[0], 0)), ids
+        diff = points[:, None, :] - matrix[None, :, :]
+        return np.sqrt(np.einsum("nmd,nmd->nm", diff, diff)), ids
 
     def nearest(self, point: np.ndarray) -> Tuple[ModelState, float]:
         """The live state closest to ``point`` and its distance.
@@ -389,16 +484,105 @@ class StateSet:
         Ties break toward the lexicographically smallest id pair, like
         the scalar reference's ordered double loop.
         """
+        with np.errstate(over="ignore"):  # inf distances are comparable
+            return self._closest_pair_unguarded()
+
+    def _closest_pair_unguarded(self) -> Optional[Tuple[int, int, float]]:
+        """:meth:`closest_pair` body for hot callers that already hold
+        ``np.errstate(over="ignore")``."""
         matrix, ids = self._ensure_cache()
         if len(ids) < 2:
+            self._pair_min_bound = math.inf
             return None
-        with np.errstate(over="ignore"):  # inf distances are comparable
+        m = len(ids)
+        if (
+            self._pair_matrix is None
+            or self._pair_ids != ids
+            # Patching k dirty rows costs about k row kernels plus the
+            # final argmin; the full rebuild is one (M, M) kernel.  For
+            # small sets or mostly-dirty caches the rebuild is cheaper,
+            # and both produce bit-identical entries.
+            or 2 * len(self._pair_dirty) >= m
+        ):
             diff = matrix[:, None, :] - matrix[None, :, :]
             distances = np.sqrt(np.einsum("ijd,ijd->ij", diff, diff))
-        distances[_tril_indices(len(ids))] = np.inf
-        flat = int(np.argmin(distances))
-        i, j = divmod(flat, len(ids))
-        return ids[i], ids[j], float(distances[i, j])
+            distances[_tril_indices(m)] = np.inf
+            self._pair_matrix = distances
+            self._pair_ids = list(ids)
+            self._pair_dirty.clear()
+        elif self._pair_dirty:
+            # Recompute only the rows/columns of centroids that moved.
+            # Each refreshed entry is the same subtraction/square/sum the
+            # full rebuild performs (up to an exact sign flip under the
+            # square), so the cache stays bit-identical to a rebuild.
+            pair = self._pair_matrix
+            if len(self._pair_dirty) == 1:
+                # Eq. 6 usually moves exactly one centroid per window;
+                # one (M, d) kernel refreshes its row and column.
+                i = ids.index(self._pair_dirty.pop())
+                diff = matrix[i] - matrix
+                row = np.sqrt(np.einsum("md,md->m", diff, diff))
+                pair[i, i + 1 :] = row[i + 1 :]
+                pair[:i, i] = row[:i]
+            else:
+                dirty = sorted(ids.index(s) for s in self._pair_dirty)
+                diff = matrix[dirty][:, None, :] - matrix[None, :, :]
+                rows = np.sqrt(np.einsum("dmk,dmk->dm", diff, diff))
+                for r, i in enumerate(dirty):
+                    pair[i, i + 1 :] = rows[r, i + 1 :]
+                    pair[:i, i] = rows[r, :i]
+                self._pair_dirty.clear()
+        flat = int(np.argmin(self._pair_matrix))
+        i, j = divmod(flat, m)
+        best = float(self._pair_matrix[i, j])
+        # Shave a relative slack off the measured minimum so distance
+        # rounding can never make a later scan measure below the bound.
+        self._pair_min_bound = best - abs(best) * 1e-12
+        return ids[i], ids[j], best
+
+    def peek_decayed_pair_bound(self, delta: float) -> Optional[float]:
+        """The pair bound as it would stand after a move of ``delta``,
+        without committing it (same slack as :meth:`update_vector`)."""
+        bound = self._pair_min_bound
+        if bound is None:
+            return None
+        return (bound - delta) - (abs(bound) + delta) * 1e-12
+
+    def commit_pair_bound(self, bound: Optional[float]) -> None:
+        """Store a bound previously obtained from
+        :meth:`peek_decayed_pair_bound` (steady-stretch commit step)."""
+        self._pair_min_bound = bound
+
+    def apply_steady_motion(
+        self, state_id: int, vector: Sequence[float], visit_increment: int
+    ) -> None:
+        """Write back a centroid that was evolved outside the set.
+
+        The fused pipeline's steady-stretch path advances one centroid's
+        Eq. 6 recurrence in Python floats (bit-identical arithmetic) and
+        folds the result back here on exit.  The caller has already
+        decayed the pair bound once per intermediate move, so this only
+        refreshes the vector caches and the visit count.
+        """
+        state = self.get(state_id)
+        state.vector = np.asarray(vector, dtype=float)
+        if self._matrix is not None:
+            assert self._matrix_ids is not None
+            row = self._matrix_ids.index(state.state_id)
+            self._matrix[row] = state.vector
+        if self._pair_matrix is not None:
+            self._pair_dirty.add(state.state_id)
+        state.visits += visit_increment
+
+    def pair_distance_at_least(self, threshold: float) -> bool:
+        """True when the certified bound proves no pair is closer than
+        ``threshold`` — i.e. a :meth:`closest_pair` scan could not find a
+        mergeable pair.  ``False`` whenever the bound is unknown (or has
+        been poisoned to NaN by a non-finite move), so callers fall back
+        to an actual scan.
+        """
+        bound = self._pair_min_bound
+        return bound is not None and bound >= threshold
 
     def _closest_pair_scalar(self) -> Optional[Tuple[int, int, float]]:
         """Scalar reference for :meth:`closest_pair` (property tests)."""

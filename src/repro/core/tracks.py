@@ -15,8 +15,9 @@ post-mortem classification.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .online_hmm import OnlineHMM
 from .states import BOTTOM_STATE_ID
@@ -183,6 +184,32 @@ class TrackManager:
             if sensor_id not in sensor_states:
                 continue
             mapped = sensor_states[sensor_id]
+            symbol = mapped if mapped != correct_state else BOTTOM_STATE_ID
+            track.record(correct_state, symbol)
+
+    def record_window_batch(
+        self,
+        correct_state: int,
+        sensor_ids: Sequence[int],
+        assigned_states: Sequence[int],
+    ) -> None:
+        """:meth:`record_window` over the window's assignment arrays.
+
+        ``sensor_ids`` must be sorted ascending without duplicates,
+        positionally paired with ``assigned_states`` (exactly the fused
+        pipeline's per-window layout).  Open tracks are fed in the same
+        order and with the same symbols as :meth:`record_window` given
+        the equivalent ``sensor_states`` dict, but tracked sensors are
+        located by bisection instead of building the dict.
+        """
+        if not self._open_by_sensor:
+            return
+        n = len(sensor_ids)
+        for sensor_id, track in self._open_by_sensor.items():
+            idx = bisect_left(sensor_ids, sensor_id)
+            if idx >= n or sensor_ids[idx] != sensor_id:
+                continue
+            mapped = int(assigned_states[idx])
             symbol = mapped if mapped != correct_state else BOTTOM_STATE_ID
             track.record(correct_state, symbol)
 

@@ -28,19 +28,24 @@ import numpy as np
 #: Metrics ``--check`` guards, all in "lower is better" units.
 CHECKED_METRICS = (
     "pipeline_us_per_window",
+    "fused_pipeline_us_per_window",
     "hmm_update_us",
     "clusterer_update_us",
+    "filter_bank_us",
     "trace_gen_us_per_window",
 )
 
 #: Hand-recorded timings of the same workloads at the pre-optimisation
 #: commits (abd7625 for the kernel metrics; the object-path generator
-#: for trace generation), kept so the JSON shows the optimisation
-#: headroom without needing to rebuild the old code.
+#: for trace generation; the scalar per-window paths for the fused
+#: pipeline and filter-bank metrics), kept so the JSON shows the
+#: optimisation headroom without needing to rebuild the old code.
 PRE_OPTIMIZATION_BASELINE = {
     "pipeline_us_per_window": 614.1,
+    "fused_pipeline_us_per_window": 614.1,
     "hmm_update_us": 5.67,
     "clusterer_update_us": 483.3,
+    "filter_bank_us": 20.8,
     "trace_gen_us_per_window": 4674.2,
 }
 
@@ -98,6 +103,131 @@ def bench_pipeline(repeats: int = 3, n_windows: int = 200) -> float:
             pipeline.process_window(window)
 
     return _best_of(repeats, run) / n_windows * 1e6
+
+
+def _fused_workload(n_windows: int = 200, n_sensors: int = 10):
+    """The diurnal workload as columnar :class:`ArrayWindow` views.
+
+    The fused fast path only engages for array-backed windows (message
+    windows take the compatibility slow lane), so the fused benchmarks
+    flatten the message workload to ``(timestamp, sensor, value)``
+    arrays in canonical trace order first.
+    """
+    from . import PipelineConfig
+    from .sensornet.collector import windows_from_arrays
+
+    windows = _bench_windows(n_windows=n_windows, n_sensors=n_sensors)
+    ts: List[float] = []
+    sids: List[int] = []
+    vals: List[tuple] = []
+    for window in windows:
+        for message in window.messages:
+            ts.append(message.timestamp)
+            sids.append(message.sensor_id)
+            vals.append(message.attributes)
+    ts_arr = np.asarray(ts, dtype=float)
+    sid_arr = np.asarray(sids)
+    val_arr = np.asarray(vals, dtype=float)
+    order = np.lexsort((sid_arr, ts_arr))
+    return windows_from_arrays(
+        ts_arr[order],
+        sid_arr[order],
+        val_arr[order],
+        PipelineConfig().window_minutes,
+    )
+
+
+def bench_fused_pipeline(repeats: int = 3, n_windows: int = 200) -> float:
+    """Fused whole-trace path cost in microseconds per window.
+
+    Same workload as :func:`bench_pipeline`, run through
+    ``process_windows_fast`` so the struct-of-arrays filter bank,
+    incremental clustering, and steady-stretch certification all
+    engage.  The parity suite pins this path bit-identical to the
+    per-window oracle, so the two metrics are directly comparable.
+    """
+    from . import DetectionPipeline, PipelineConfig
+
+    array_windows = _fused_workload(n_windows=n_windows)
+
+    def run() -> None:
+        pipeline = DetectionPipeline(PipelineConfig())
+        pipeline.process_windows_fast(array_windows)
+
+    return _best_of(repeats, run) / n_windows * 1e6
+
+
+def bench_filter_bank(
+    repeats: int = 5, n_sensors: int = 50, n_windows: int = 2000
+) -> Dict[str, object]:
+    """Alarm-filter bank cost per window, scalar loop vs vector bank.
+
+    Feeds an identical sparse raw-alarm stream to a per-sensor
+    :class:`FilterBank` and a struct-of-arrays
+    :class:`VectorFilterBank`; the checked ``filter_bank_us`` metric is
+    the vector bank's per-window cost.
+    """
+    from .core.filtering import FilterBank, KOfNFilter, VectorFilterBank
+
+    rng = np.random.default_rng(3)
+    sensor_ids = np.arange(n_sensors)
+    raws = rng.random((n_windows, n_sensors)) < 0.05
+    raw_dicts = [
+        {int(s): bool(r) for s, r in zip(sensor_ids, row)} for row in raws
+    ]
+
+    def run_scalar() -> None:
+        bank = FilterBank(factory=KOfNFilter)
+        for index, raw_by_sensor in enumerate(raw_dicts):
+            bank.update(index, raw_by_sensor)
+
+    def run_vector() -> None:
+        bank = VectorFilterBank.from_prototype(KOfNFilter())
+        for index in range(n_windows):
+            bank.update_batch(
+                index, sensor_ids, raws[index], assume_sorted=True
+            )
+
+    scalar_us = _best_of(repeats, run_scalar) / n_windows * 1e6
+    vector_us = _best_of(repeats, run_vector) / n_windows * 1e6
+    return {
+        "n_sensors": n_sensors,
+        "n_windows": n_windows,
+        "scalar_us_per_window": round(scalar_us, 2),
+        "vector_us_per_window": round(vector_us, 2),
+        "speedup": round(scalar_us / vector_us, 2),
+    }
+
+
+def profile_fused(n_windows: int = 200, runs: int = 10, top: int = 25) -> str:
+    """cProfile the fused pipeline; top-``top`` rows by cumulative time.
+
+    Backs ``repro bench --profile``: profiles ``runs`` fresh pipelines
+    over the fused benchmark workload and renders the standard pstats
+    cumulative table, so hot-path regressions can be localised without
+    leaving the harness.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from . import DetectionPipeline, PipelineConfig
+
+    array_windows = _fused_workload(n_windows=n_windows)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(runs):
+        pipeline = DetectionPipeline(PipelineConfig())
+        pipeline.process_windows_fast(array_windows)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    header = (
+        f"cProfile: {runs} fused runs x {n_windows} windows, "
+        f"top {top} by cumulative time"
+    )
+    return header + "\n" + stream.getvalue().rstrip()
 
 
 def bench_hmm_update(repeats: int = 5, n_updates: int = 1000) -> float:
@@ -252,11 +382,17 @@ def run_bench(
 ) -> Dict[str, object]:
     """Measure everything and assemble the BENCH_pipeline.json payload."""
     trace_generation = bench_trace_generation(repeats=repeats)
+    filter_bank = bench_filter_bank(repeats=max(repeats, 5))
     return {
-        "schema": 2,
+        "schema": 3,
         "pipeline_us_per_window": round(bench_pipeline(repeats=repeats), 1),
+        "fused_pipeline_us_per_window": round(
+            bench_fused_pipeline(repeats=max(repeats, 5)), 1
+        ),
         "hmm_update_us": round(bench_hmm_update(repeats=max(repeats, 5)), 2),
         "clusterer_update_us": round(bench_clusterer_update(repeats=repeats), 1),
+        "filter_bank_us": filter_bank["vector_us_per_window"],
+        "filter_bank": filter_bank,
         "trace_gen_us_per_window": trace_generation["columnar_us_per_window"],
         "trace_generation": trace_generation,
         "campaign": bench_campaign(n_jobs=n_jobs),
@@ -306,6 +442,14 @@ def render(result: Dict[str, object]) -> str:
         new = result[metric]
         gain = f"  ({old / new:.1f}x vs pre-opt {old} us)" if old else ""
         lines.append(f"  {metric:<26} {new:>8} us{gain}")
+    filter_bank = result.get("filter_bank")
+    if filter_bank:
+        lines.append(
+            f"  filter bank ({filter_bank['n_sensors']} sensors): scalar "
+            f"{filter_bank['scalar_us_per_window']} us/window, vector "
+            f"{filter_bank['vector_us_per_window']} us/window "
+            f"-> {filter_bank['speedup']}x"
+        )
     trace_generation = result.get("trace_generation")
     if trace_generation:
         lines.append(
@@ -330,12 +474,62 @@ def render(result: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def parity_command(
+    n_days: int = 3, seed: int = 7
+) -> "tuple[str, int]":
+    """The ``repro parity`` implementation: (report text, exit code).
+
+    Runs one GDI trace through the per-window oracle
+    (``process_trace``) and the fused fast path
+    (``process_trace_fast``) for every alarm-filter kind crossed with
+    every supervisor mode, and demands exact equality of the campaign
+    digest, the JSON snapshot, and each per-window result.  Any
+    mismatch is a correctness bug in the fused engine, so the exit
+    code is non-zero and CI blocks on it.
+    """
+    from . import DetectionPipeline, PipelineConfig
+    from .traces import GDITraceConfig, generate_gdi_trace_columnar
+
+    trace = generate_gdi_trace_columnar(
+        GDITraceConfig(n_days=n_days, seed=seed)
+    )
+    lines = [f"fused-vs-oracle parity: {n_days} days, seed {seed}"]
+    ok = True
+    for kind in ("k_of_n", "sprt", "cusum"):
+        for mode in ("off", "warn", "repair"):
+            config = PipelineConfig(filter_kind=kind, supervisor_mode=mode)
+            oracle = DetectionPipeline(config)
+            fused = DetectionPipeline(config)
+            oracle_results = oracle.process_trace(trace)
+            fused.process_trace_fast(trace)
+            fused_results = fused.results
+            digest_ok = oracle.digest() == fused.digest()
+            snapshot_ok = json.dumps(
+                oracle.snapshot(), sort_keys=True, default=str
+            ) == json.dumps(fused.snapshot(), sort_keys=True, default=str)
+            results_ok = len(oracle_results) == len(fused_results) and all(
+                a == b for a, b in zip(oracle_results, fused_results)
+            )
+            ok = ok and digest_ok and snapshot_ok and results_ok
+
+            def _tag(flag: bool) -> str:
+                return "OK" if flag else "FAIL"
+
+            lines.append(
+                f"  {kind:<7} {mode:<7} digest={_tag(digest_ok)} "
+                f"snapshot={_tag(snapshot_ok)} results={_tag(results_ok)}"
+            )
+    lines.append("parity PASS" if ok else "parity FAIL")
+    return "\n".join(lines), 0 if ok else 1
+
+
 def bench_command(
     output: str = DEFAULT_OUTPUT,
     check: bool = False,
     tolerance: float = DEFAULT_TOLERANCE,
     n_jobs: Optional[int] = None,
     repeats: int = 3,
+    profile: bool = False,
 ) -> "tuple[str, int]":
     """The ``repro bench`` implementation: (report text, exit code)."""
     previous = None
@@ -345,6 +539,8 @@ def bench_command(
 
     result = run_bench(n_jobs=n_jobs, repeats=repeats)
     text = render(result)
+    if profile:
+        text += "\n" + profile_fused()
 
     if check:
         if previous is None:

@@ -1,0 +1,255 @@
+"""Fused engine vs per-window oracle: bit-identical or the test fails.
+
+The struct-of-arrays fast path (``process_windows_fast`` /
+``process_trace_fast``) only earns its speedup if it is *exactly* the
+per-window pipeline — same digests, same checkpoint snapshots, same
+``WindowResult`` stream, under every alarm-filter kind and supervisor
+mode.  Every assertion here is exact ``==`` (no tolerances): the fused
+engine's certified shortcuts (vector filter banks, incremental
+clustering caches, steady-stretch certification) are go/no-go caches
+that must never change a single bit of output.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DetectionPipeline, PipelineConfig
+from repro.core.filtering import (
+    CUSUMFilter,
+    FilterBank,
+    KOfNFilter,
+    SPRTFilter,
+    VectorFilterBank,
+)
+from repro.sensornet.collector import windows_from_arrays
+from repro.traces import GDITraceConfig, generate_gdi_trace_columnar
+
+FILTER_KINDS = ("k_of_n", "sprt", "cusum")
+SUPERVISOR_MODES = ("off", "warn", "repair")
+
+
+def snapshot_json(pipeline: DetectionPipeline) -> str:
+    return json.dumps(pipeline.snapshot(), sort_keys=True, default=str)
+
+
+def assert_engines_identical(config: PipelineConfig, windows) -> None:
+    """Run both engines over ``windows``; demand exact equality."""
+    oracle = DetectionPipeline(config)
+    fused = DetectionPipeline(config)
+    oracle_results = oracle.process_windows(windows)
+    fused.process_windows_fast(windows)
+    fused_results = fused.results
+    assert oracle.digest() == fused.digest()
+    assert snapshot_json(oracle) == snapshot_json(fused)
+    assert len(oracle_results) == len(fused_results)
+    for ours, theirs in zip(oracle_results, fused_results):
+        assert ours == theirs
+
+
+def synthetic_windows(
+    n_windows: int = 300,
+    n_sensors: int = 8,
+    n_attributes: int = 2,
+    seed: int = 0,
+):
+    """A hostile 300-window workload exercising the fused edge cases.
+
+    Piecewise-constant environment states with jumps big enough to
+    spawn model states (breaking steady stretches), periodic sensor
+    dropouts (changing the per-window sensor population), NaN readings
+    (quarantined at windowing time), and entirely empty windows.
+    """
+    rng = np.random.default_rng(seed)
+    ts, sids, vals = [], [], []
+    for index in range(1, n_windows + 1):
+        if index % 57 == 0:
+            continue  # an empty window mid-trace
+        level = 20.0 + 15.0 * ((index // 30) % 3)
+        base = np.array([level, 70.0 - level / 2.0])[:n_attributes]
+        for sensor in range(n_sensors):
+            if (index + sensor) % 41 == 0:
+                continue  # sensor dropout: population changes
+            value = base + rng.normal(0.0, 0.3, n_attributes)
+            if (index * 13 + sensor) % 97 == 0:
+                value = value.copy()
+                value[0] = np.nan  # quarantined on windowing
+            ts.append((index - 1) * 60.0 + 1.0 + sensor * 1e-3)
+            sids.append(sensor)
+            vals.append(value)
+    ts_arr = np.asarray(ts, dtype=float)
+    sid_arr = np.asarray(sids)
+    val_arr = np.asarray(vals, dtype=float)
+    order = np.lexsort((sid_arr, ts_arr))
+    return windows_from_arrays(
+        ts_arr[order], sid_arr[order], val_arr[order], 60.0
+    )
+
+
+class TestTraceParity:
+    @pytest.mark.parametrize("kind", FILTER_KINDS)
+    @pytest.mark.parametrize("mode", SUPERVISOR_MODES)
+    def test_gdi_trace(self, kind, mode):
+        trace = generate_gdi_trace_columnar(GDITraceConfig(n_days=2, seed=11))
+        config = PipelineConfig(filter_kind=kind, supervisor_mode=mode)
+        oracle = DetectionPipeline(config)
+        fused = DetectionPipeline(config)
+        oracle_results = oracle.process_trace(trace)
+        fused.process_trace_fast(trace)
+        fused_results = fused.results
+        assert oracle.digest() == fused.digest()
+        assert snapshot_json(oracle) == snapshot_json(fused)
+        assert len(oracle_results) == len(fused_results)
+        for ours, theirs in zip(oracle_results, fused_results):
+            assert ours == theirs
+
+
+class TestSyntheticEdgeCases:
+    @pytest.mark.parametrize("kind", FILTER_KINDS)
+    def test_hostile_workload(self, kind):
+        windows = synthetic_windows()
+        assert_engines_identical(PipelineConfig(filter_kind=kind), windows)
+
+    @pytest.mark.parametrize("mode", ("warn", "repair"))
+    def test_hostile_workload_supervised(self, mode):
+        windows = synthetic_windows()
+        assert_engines_identical(PipelineConfig(supervisor_mode=mode), windows)
+
+    def test_single_attribute(self):
+        # d == 1 exercises the pairwise-summation fallback in the
+        # batched means kernel (bulk means are only bit-stable for
+        # d >= 2) and the scalar steady-stretch arithmetic.
+        windows = synthetic_windows(n_attributes=1, seed=3)
+        assert_engines_identical(PipelineConfig(), windows)
+
+    def test_empty_input(self):
+        config = PipelineConfig()
+        fused = DetectionPipeline(config)
+        assert fused.process_windows_fast([]) == 0
+        assert fused.results == []
+
+    def test_checkpoint_mid_run_resumes_identically(self):
+        # A snapshot taken after a fast run must restore into a
+        # pipeline that continues exactly like the oracle would.
+        windows = synthetic_windows()
+        half = len(windows) // 2
+        config = PipelineConfig()
+        oracle = DetectionPipeline(config)
+        oracle.process_windows(windows)
+
+        fused = DetectionPipeline(config)
+        fused.process_windows_fast(windows[:half])
+        resumed = DetectionPipeline.restore(fused.snapshot(), config=config)
+        resumed.process_windows_fast(windows[half:])
+        assert resumed.digest() == oracle.digest()
+        assert snapshot_json(resumed) == snapshot_json(oracle)
+
+
+def _scalar_bank(kind: str) -> FilterBank:
+    factory = {
+        "k_of_n": KOfNFilter,
+        "sprt": SPRTFilter,
+        "cusum": CUSUMFilter,
+    }[kind]
+    return FilterBank(factory=factory)
+
+
+def _vector_bank(kind: str) -> VectorFilterBank:
+    prototype = {
+        "k_of_n": KOfNFilter,
+        "sprt": SPRTFilter,
+        "cusum": CUSUMFilter,
+    }[kind]()
+    return VectorFilterBank.from_prototype(prototype)
+
+
+def _raw_stream(n_windows: int, n_sensors: int, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    return rng.random((n_windows, n_sensors)) < 0.4
+
+
+class TestFilterBankStateDictInterchange:
+    """Scalar and vector banks must share one checkpoint format."""
+
+    @pytest.mark.parametrize("kind", FILTER_KINDS)
+    def test_state_dicts_match_after_identical_streams(self, kind):
+        scalar = _scalar_bank(kind)
+        vector = _vector_bank(kind)
+        sensor_ids = np.arange(6)
+        for index, raws in enumerate(_raw_stream(50, 6)):
+            scalar_out = scalar.update(
+                index, {int(s): bool(r) for s, r in zip(sensor_ids, raws)}
+            )
+            vector_out = vector.update_batch(index, sensor_ids, raws)
+            assert scalar_out == vector_out
+        assert scalar.state_dict() == vector.state_dict()
+
+    @pytest.mark.parametrize("kind", FILTER_KINDS)
+    def test_cross_round_trip_continues_identically(self, kind):
+        # scalar -> vector and vector -> scalar restores must both
+        # continue the stream exactly where the original left off.
+        sensor_ids = np.arange(6)
+        stream = _raw_stream(80, 6, seed=9)
+        scalar = _scalar_bank(kind)
+        for index, raws in enumerate(stream[:40]):
+            scalar.update(
+                index, {int(s): bool(r) for s, r in zip(sensor_ids, raws)}
+            )
+
+        vector = _vector_bank(kind)
+        vector.load_state_dict(scalar.state_dict())
+        assert vector.state_dict() == scalar.state_dict()
+
+        back = _scalar_bank(kind)
+        back.load_state_dict(vector.state_dict())
+        assert back.state_dict() == scalar.state_dict()
+
+        for index, raws in enumerate(stream[40:], start=40):
+            raw_map = {int(s): bool(r) for s, r in zip(sensor_ids, raws)}
+            assert (
+                scalar.update(index, raw_map)
+                == vector.update_batch(index, sensor_ids, raws)
+                == back.update(index, raw_map)
+            )
+        assert scalar.state_dict() == vector.state_dict()
+        assert scalar.state_dict() == back.state_dict()
+
+    def test_vector_bank_rejects_mixed_kind_payload(self):
+        scalar = FilterBank(factory=KOfNFilter)
+        scalar.update(0, {0: True})
+        mixed = _scalar_bank("sprt")
+        mixed.update(0, {1: True})
+        payload = scalar.state_dict()
+        payload["filters"].append(mixed.state_dict()["filters"][0])
+        vector = _vector_bank("k_of_n")
+        with pytest.raises(ValueError):
+            vector.load_state_dict(payload)
+
+
+class TestKOfNRunningCount:
+    """The O(1) running count must always equal the ring-buffer sum."""
+
+    def test_count_tracks_window_sum(self):
+        filt = KOfNFilter(k=3, n=5)
+        rng = np.random.default_rng(13)
+        for raw in rng.random(200) < 0.5:
+            filt.update(bool(raw))
+            assert filt._count == sum(filt._window)
+            assert filt.active == (filt._count >= filt.k)
+
+    def test_reset_and_restore_rebuild_count(self):
+        filt = KOfNFilter(k=2, n=4)
+        for raw in (True, True, False, True):
+            filt.update(raw)
+        payload = filt.state_dict()
+        filt.reset()
+        assert filt._count == 0 and not filt.active
+
+        from repro.core.filtering import filter_from_state_dict
+
+        restored = filter_from_state_dict(payload)
+        assert restored._count == sum(restored._window)
+        assert restored.active

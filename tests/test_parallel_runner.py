@@ -81,6 +81,30 @@ def test_resolve_n_jobs():
     assert resolve_n_jobs(0) == resolve_n_jobs(None)
 
 
+def _poison_pool(monkeypatch):
+    """Make any ProcessPoolExecutor construction fail loudly."""
+    from repro.experiments import runner
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure is the assert
+        raise AssertionError("ProcessPoolExecutor must not be constructed")
+
+    monkeypatch.setattr(runner, "ProcessPoolExecutor", boom)
+
+
+def test_n_jobs_1_runs_inline_without_pool(monkeypatch, serial_outcomes):
+    # Serial runs must stay in-process: no fork/spawn overhead, no
+    # worker initialisation, and debuggable stack traces.
+    _poison_pool(monkeypatch)
+    assert run_scenarios_parallel(SPECS, n_jobs=1) == serial_outcomes
+
+
+def test_single_spec_runs_inline_without_pool(monkeypatch, serial_outcomes):
+    # One scenario can never benefit from a pool, whatever n_jobs says.
+    _poison_pool(monkeypatch)
+    outcomes = run_scenarios_parallel(SPECS[:1], n_jobs=4)
+    assert outcomes == serial_outcomes[:1]
+
+
 def test_campaign_wrapper_delegates(serial_outcomes):
     outcomes = run_campaigns_parallel(
         ["clean", "stuck_at"], n_days=3, seed=17, n_jobs=1

@@ -11,10 +11,19 @@ from repro import perf
 
 def _payload(**overrides):
     base = {
-        "schema": 2,
+        "schema": 3,
         "pipeline_us_per_window": 200.0,
+        "fused_pipeline_us_per_window": 50.0,
         "hmm_update_us": 3.0,
         "clusterer_update_us": 120.0,
+        "filter_bank_us": 11.0,
+        "filter_bank": {
+            "n_sensors": 50,
+            "n_windows": 2000,
+            "scalar_us_per_window": 20.0,
+            "vector_us_per_window": 11.0,
+            "speedup": 1.82,
+        },
         "trace_gen_us_per_window": 40.0,
         "trace_generation": {
             "n_days": 3,
@@ -98,10 +107,51 @@ def test_render_tolerates_schema1_payload():
     assert "trace gen" in text
 
 
+def test_compare_tolerates_schema2_payload():
+    # Baselines written before the fused/filter-bank metrics existed
+    # must still check cleanly (schema growth never fails old files).
+    old = _payload()
+    old["schema"] = 2
+    del old["fused_pipeline_us_per_window"]
+    del old["filter_bank_us"]
+    del old["filter_bank"]
+    assert perf.compare(_payload(), old, tolerance=0.3) == []
+
+
 def test_bench_hmm_update_returns_microseconds():
     # Tiny workload: this is a plumbing check, not a measurement.
     us = perf.bench_hmm_update(repeats=1, n_updates=50)
     assert 0.0 < us < 1e6
+
+
+def test_bench_fused_pipeline_returns_microseconds():
+    us = perf.bench_fused_pipeline(repeats=1, n_windows=24)
+    assert 0.0 < us < 1e6
+
+
+def test_bench_filter_bank_reports_both_paths():
+    result = perf.bench_filter_bank(repeats=1, n_sensors=8, n_windows=60)
+    assert 0.0 < result["scalar_us_per_window"] < 1e6
+    assert 0.0 < result["vector_us_per_window"] < 1e6
+    assert result["speedup"] > 0.0
+
+
+def test_profile_fused_renders_cumulative_table():
+    text = perf.profile_fused(n_windows=24, runs=1, top=5)
+    assert "cProfile" in text
+    assert "cumulative" in text
+    assert "process_windows_fast" in text
+
+
+def test_parity_command_passes_and_reports_grid():
+    text, code = perf.parity_command(n_days=1, seed=7)
+    assert code == 0
+    assert "parity PASS" in text
+    # every filter kind x supervisor mode appears in the grid
+    for kind in ("k_of_n", "sprt", "cusum"):
+        assert kind in text
+    for mode in ("off", "warn", "repair"):
+        assert mode in text
 
 
 def test_check_without_previous_file(tmp_path, monkeypatch):
@@ -148,3 +198,16 @@ def test_cli_parses_bench_flags(argv):
     assert args.command == "bench"
     assert args.tolerance == 0.5
     assert args.jobs == 0
+    assert args.profile is False
+
+
+def test_cli_parses_bench_profile_and_parity():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["bench", "--profile"])
+    assert args.profile is True
+
+    args = build_parser().parse_args(["parity", "--days", "2", "--seed", "9"])
+    assert args.command == "parity"
+    assert args.days == 2
+    assert args.seed == 9
