@@ -10,6 +10,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro sweep a1
     python -m repro chaos --days 7 --crash-at 40 --crash-at 90
     python -m repro campaign clean stuck_at calibration --jobs 4
+    python -m repro campaign clean stuck_at --journal runs/j1 --task-timeout 120
+    python -m repro campaign clean stuck_at --jobs 2 --chaos-kill-prob 0.2
     python -m repro bench
     python -m repro bench --check --tolerance 0.3
     python -m repro bench --profile
@@ -24,7 +26,12 @@ pipeline checkpoint); ``sweep`` runs one ablation study; ``chaos`` runs
 an infrastructure chaos campaign (bursty loss, delay/reordering,
 duplication, clock skew, collector crash + checkpoint restart) and
 prints the degradation report; ``campaign`` fans several scenarios out
-across worker processes and prints one verdict line each; ``bench``
+across the fault-tolerant worker runtime (per-task retries with
+backoff, deadlines via ``--task-timeout``, worker-crash recovery,
+poison-spec quarantine — exits non-zero if any spec was quarantined —
+and a durable resume journal via ``--journal``; the ``--chaos-*``
+flags soak-test it with seeded worker-level faults) and prints one
+verdict line each; ``bench``
 times the hot kernels and writes (or, with ``--check``, verifies)
 ``BENCH_pipeline.json`` (``--profile`` appends a cProfile table of the
 fused hot path); ``parity`` replays one trace through the per-window
@@ -185,6 +192,77 @@ def build_parser() -> argparse.ArgumentParser:
             "scenario trace cache directory: reruns load generated "
             "traces instead of re-simulating (identical results)"
         ),
+    )
+    campaign.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable campaign journal directory: an append-only JSONL "
+            "write-ahead log; rerunning with the same DIR resumes an "
+            "interrupted campaign, replaying completed specs "
+            "exactly-once and executing only the remainder"
+        ),
+    )
+    campaign.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per spec after its first failed attempt; a spec "
+        "that fails every retry is quarantined, not fatal (default 2)",
+    )
+    campaign.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline; a task past it is declared hung, "
+        "its pool is rebuilt, and the attempt counts as a failure "
+        "(default: no deadline; enforced only with --jobs >= 2)",
+    )
+    campaign.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="first retry delay; doubles per attempt with "
+        "deterministic jitter (default 0.05)",
+    )
+    campaign.add_argument(
+        "--chaos-kill-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="worker chaos: per-attempt probability the worker process "
+        "is SIGKILLed (soak-tests the recovery path)",
+    )
+    campaign.add_argument(
+        "--chaos-hang-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="worker chaos: per-attempt probability the task hangs "
+        "(pair with --task-timeout)",
+    )
+    campaign.add_argument(
+        "--chaos-exception-prob",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="worker chaos: per-attempt probability the task raises",
+    )
+    campaign.add_argument(
+        "--chaos-hang-seconds",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long an injected hang sleeps (default 600)",
+    )
+    campaign.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic worker-chaos draws",
     )
 
     fuzz = sub.add_parser(
@@ -359,23 +437,69 @@ def _cmd_chaos(args: argparse.Namespace) -> str:
     return report.render()
 
 
-def _cmd_campaign(
-    names: List[str],
-    days: int,
-    seed: int,
-    jobs: int,
-    cache_dir: Optional[str] = None,
-) -> str:
-    from .faults.campaign import run_campaigns_parallel
+def _cmd_campaign(args: argparse.Namespace) -> "tuple[str, int]":
+    from .experiments.retry import RetryPolicy
+    from .experiments.runner import ScenarioSpec, run_campaign
 
-    outcomes = run_campaigns_parallel(
-        names, n_days=days, seed=seed, n_jobs=jobs, cache_dir=cache_dir
+    chaos = None
+    if (
+        args.chaos_kill_prob
+        or args.chaos_hang_prob
+        or args.chaos_exception_prob
+    ):
+        from .resilience.chaos import WorkerChaos
+
+        chaos = WorkerChaos(
+            kill_probability=args.chaos_kill_prob,
+            hang_probability=args.chaos_hang_prob,
+            exception_probability=args.chaos_exception_prob,
+            hang_seconds=args.chaos_hang_seconds,
+            seed=args.chaos_seed,
+        )
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        backoff_base=args.backoff_base,
     )
+    specs = [
+        ScenarioSpec(name=name, n_days=args.days, seed=args.seed)
+        for name in args.names
+    ]
+    try:
+        report = run_campaign(
+            specs,
+            n_jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            policy=policy,
+            chaos=chaos,
+            journal_dir=args.journal,
+        )
+    except KeyboardInterrupt:
+        lines = ["campaign interrupted"]
+        if args.journal is not None:
+            lines.append(
+                f"journal flushed to {args.journal}; rerun the same "
+                "command to resume (completed specs are skipped)"
+            )
+        else:
+            lines.append(
+                "no --journal was given, so finished work is lost; "
+                "use --journal DIR to make campaigns resumable"
+            )
+        return "\n".join(lines), 130
+    outcomes = report.outcomes
     lines = [
-        f"campaign: {len(outcomes)} scenarios, {days} days, seed {seed}, "
-        f"jobs {jobs if jobs else 'all'}"
+        f"campaign: {len(outcomes)} scenarios, {args.days} days, "
+        f"seed {args.seed}, jobs {args.jobs if args.jobs else 'all'}"
     ]
     for outcome in outcomes:
+        if outcome.quarantined:
+            reason = outcome.error.splitlines()[0]
+            lines.append(
+                f"  {outcome.name}: QUARANTINED after "
+                f"{outcome.attempts} attempts ({reason})"
+            )
+            continue
         flagged = ", ".join(
             f"{sensor}:{kind}" for sensor, (_, kind, _) in
             sorted(outcome.sensor_diagnoses.items())
@@ -385,10 +509,18 @@ def _cmd_campaign(
             f"sensors=[{flagged}] windows={outcome.n_windows} "
             f"digest={outcome.digest[:12]}"
         )
-    if cache_dir is not None:
+    if args.cache_dir is not None:
         hits = sum(1 for outcome in outcomes if outcome.from_cache)
         lines.append(f"cache: hits={hits} misses={len(outcomes) - hits}")
-    return "\n".join(lines)
+    if (
+        report.n_retries
+        or report.n_journal_skips
+        or report.quarantined
+        or args.journal is not None
+        or chaos is not None
+    ):
+        lines.append(report.stats_line())
+    return "\n".join(lines), 0 if report.ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> "tuple[str, int]":
@@ -454,11 +586,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "chaos":
         print(_cmd_chaos(args))
     elif args.command == "campaign":
-        print(
-            _cmd_campaign(
-                args.names, args.days, args.seed, args.jobs, args.cache_dir
-            )
-        )
+        text, code = _cmd_campaign(args)
+        print(text)
+        return code
     elif args.command == "bench":
         text, code = _cmd_bench(args)
         print(text)

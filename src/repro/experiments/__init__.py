@@ -32,11 +32,16 @@ from .figures import (
     figure9,
     figure12,
 )
+from .journal import CampaignJournal
+from .retry import RetryPolicy, TaskError
 from .runner import (
+    CampaignReport,
     ScenarioOutcome,
     ScenarioRun,
     ScenarioSpec,
+    campaign_spec_key,
     compute_initial_states,
+    run_campaign,
     run_pipeline,
     run_scenario,
     run_scenarios_parallel,
@@ -94,21 +99,26 @@ def cached_scenario(name: str, n_days: int = 21, seed: int = 2003) -> ScenarioRu
 __all__ = [
     "A5_EQUIVALENCES",
     "AttackMatrixResult",
+    "CampaignJournal",
+    "CampaignReport",
     "Figure12Result",
     "Figure6Result",
     "Figure7Result",
     "Figure8Result",
     "Figure9Result",
+    "RetryPolicy",
     "ScenarioOutcome",
     "ScenarioRun",
     "ScenarioSpec",
     "SensorMatricesResult",
     "SweepResult",
     "Table1Result",
+    "TaskError",
     "additive_scenario",
     "baseline_comparison",
     "cached_scenario",
     "calibration_scenario",
+    "campaign_spec_key",
     "change_scenario",
     "classification_matrix",
     "clean_scenario",
@@ -129,6 +139,7 @@ __all__ = [
     "mixed_scenario",
     "random_noise_scenario",
     "reference_states",
+    "run_campaign",
     "run_pipeline",
     "run_scenario",
     "run_scenarios_parallel",

@@ -1,0 +1,190 @@
+"""Durable campaign journal: an append-only JSONL write-ahead log.
+
+``repro campaign --journal DIR`` records every task transition —
+attempt start, retry, completion (with the outcome and its digest),
+quarantine — as one JSON line in ``DIR/journal.jsonl``, flushed and
+fsynced per record so a SIGKILL mid-campaign loses at most the line
+being written.  Resuming a campaign against the same directory replays
+completed specs from the journal (exactly-once: they are *not*
+re-executed) and runs only the remainder; poisoned specs get a fresh
+chance.
+
+Keys are the spec's content hash — the same
+:func:`repro.traces.cache.canonical_spec_hash` over the same spec dict
+the :class:`~repro.traces.cache.TraceCache` uses, generator version
+included — so a behavioural change to trace generation retires stale
+journal entries exactly like it retires stale cache entries.
+
+The reader is tolerant of a torn final line (the one a crash
+interrupted): any line that fails to decode is skipped, and only
+``done`` records affect resume decisions, so a journal is never more
+dangerous than no journal at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, TextIO, Union
+
+#: Journal format version, recorded in the meta line of every file.
+JOURNAL_VERSION = 1
+
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+class CampaignJournal:
+    """Append-only JSONL write-ahead log for one campaign directory.
+
+    Safe to reopen across runs: records append to the existing file,
+    and :meth:`completed_outcomes` folds the whole history (the last
+    terminal record per key wins).  Single-writer by design — the
+    orchestrator process writes, workers never touch the journal.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / JOURNAL_FILENAME
+        self._handle: Optional[TextIO] = None
+
+    # -- writing -----------------------------------------------------------
+
+    def _writer(self) -> TextIO:
+        if self._handle is None or self._handle.closed:
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            if not fresh:
+                # A crash can tear the final line mid-write, leaving the
+                # file without a trailing newline.  Appending onto that
+                # tail would weld the next record into one undecodable
+                # line — losing a *good* record to an old crash — so
+                # seal the torn line first.
+                with open(self.path, "rb") as existing:
+                    existing.seek(-1, os.SEEK_END)
+                    torn = existing.read(1) != b"\n"
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._append({"event": "meta", "version": JOURNAL_VERSION})
+            elif torn:
+                self._handle.write("\n")
+                self._handle.flush()
+        return self._handle
+
+    def _append(self, record: Mapping[str, object]) -> None:
+        handle = self._handle if self._handle else self._writer()
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def record_start(
+        self, key: str, spec: Mapping[str, object], attempt: int
+    ) -> None:
+        """One task attempt is about to execute."""
+        self._writer()
+        self._append(
+            {
+                "event": "start",
+                "key": key,
+                "spec": dict(spec),
+                "attempt": int(attempt),
+            }
+        )
+
+    def record_retry(
+        self, key: str, attempt: int, kind: str, message: str
+    ) -> None:
+        """Attempt ``attempt`` failed; the task will be retried."""
+        self._writer()
+        self._append(
+            {
+                "event": "retry",
+                "key": key,
+                "attempt": int(attempt),
+                "kind": str(kind),
+                "message": str(message),
+            }
+        )
+
+    def record_done(self, key: str, outcome: Mapping[str, object]) -> None:
+        """The task completed; ``outcome`` is its JSON-safe summary."""
+        self._writer()
+        self._append(
+            {
+                "event": "done",
+                "key": key,
+                "digest": str(outcome.get("digest", "")),
+                "outcome": dict(outcome),
+            }
+        )
+
+    def record_poisoned(self, key: str, error: str, attempts: int) -> None:
+        """The task failed every retry and was quarantined."""
+        self._writer()
+        self._append(
+            {
+                "event": "poisoned",
+                "key": key,
+                "error": str(error),
+                "attempts": int(attempts),
+            }
+        )
+
+    def flush(self) -> None:
+        """Force everything written so far onto disk."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """All decodable records in file order (torn lines skipped)."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn by a crash mid-write
+                if isinstance(record, dict):
+                    yield record
+
+    def completed_outcomes(self) -> Dict[str, Dict[str, object]]:
+        """key -> outcome dict for every spec whose last record is done.
+
+        A later ``poisoned`` record clears an earlier ``done`` (it
+        cannot happen in one well-formed run, but the journal believes
+        its own history), and poisoned specs are simply absent — they
+        re-run on resume.
+        """
+        completed: Dict[str, Dict[str, object]] = {}
+        for record in self.records():
+            event = record.get("event")
+            key = record.get("key")
+            if not isinstance(key, str):
+                continue
+            if event == "done" and isinstance(record.get("outcome"), dict):
+                completed[key] = record["outcome"]
+            elif event == "poisoned":
+                completed.pop(key, None)
+        return completed
+
+    def poisoned(self) -> List[Dict[str, object]]:
+        """All quarantine records (diagnostics; resume ignores them)."""
+        return [r for r in self.records() if r.get("event") == "poisoned"]

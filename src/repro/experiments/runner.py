@@ -1,25 +1,55 @@
 """Shared plumbing for trace-driven experiment runs.
 
 Besides the serial helpers (:func:`run_pipeline`, :func:`run_scenario`),
-this module hosts the parallel fan-out used by the table/figure
-reproductions and the fault campaigns: :func:`run_scenarios_parallel`
-executes a list of :class:`ScenarioSpec` entries across a
-``ProcessPoolExecutor``, one fresh deterministic simulation per worker.
-Workers return :class:`ScenarioOutcome` summaries (plain picklable data,
-no live pipeline objects — the pipeline holds unpicklable filter
+this module hosts the *fault-tolerant campaign runtime* used by the
+table/figure reproductions and the fault campaigns.
+:func:`run_campaign` executes a list of :class:`ScenarioSpec` entries
+across a ``ProcessPoolExecutor`` with per-task futures carrying
+deadlines, exponential backoff with deterministic jitter
+(:class:`~repro.experiments.retry.RetryPolicy`), pool rebuild after a
+worker crash (``BrokenProcessPool``), and poison-spec quarantine: a
+spec that fails every retry is recorded with its traceback in the
+returned :class:`CampaignReport` and excluded from the campaign
+verdict, never fatal — finished results are always salvaged.  With a
+journal directory, every task transition is written to an append-only
+JSONL write-ahead log (:mod:`repro.experiments.journal`) so an
+interrupted or crashed campaign resumes exactly-once, skipping
+completed specs.
+
+Workers return :class:`ScenarioOutcome` summaries (plain picklable
+data, no live pipeline objects — the pipeline holds unpicklable filter
 factories) in the exact order the specs were submitted, and every
 scenario is rebuilt from its own seed, so results are identical
-regardless of ``n_jobs``.
+regardless of ``n_jobs`` and of any interleaving of crashes, retries,
+and resumes.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from functools import partial
+import time
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -27,10 +57,13 @@ from ..analysis.offline_clustering import initial_states_from_trace
 from ..config import PipelineConfig
 from ..core.pipeline import DetectionPipeline, WindowResult
 from ..faults.campaign import CampaignSpec
+from ..resilience.chaos import SimulatedWorkerCrash, WorkerChaos
 from ..sensornet.collector import ObservationWindow
 from ..traces.gdi import GDITraceConfig, build_environment, generate_gdi_trace
 from ..traces.schema import Trace
 from ..traces.windows import window_trace_by_samples
+from .journal import CampaignJournal
+from .retry import RetryPolicy, TaskError
 
 
 def compute_initial_states(
@@ -190,10 +223,82 @@ class ScenarioOutcome:
     #: fresh simulation.  Excluded from equality — a cache-hot rerun
     #: compares equal to its cold original.
     from_cache: bool = field(default=False, compare=False)
+    #: Why the spec was quarantined (kind, message, traceback); empty
+    #: for successful runs.  Quarantined outcomes carry no digest and
+    #: zeroed counters — they are placeholders that keep the campaign's
+    #: spec order while surfacing the failure in reports.
+    error: str = ""
+    #: Attempts the campaign runtime spent on this spec (1 = first try
+    #: succeeded).  Excluded from equality: retry counts are scheduling
+    #: noise, and a chaos-battered rerun must still compare equal to a
+    #: clean one — the digest is what certifies the result.
+    attempts: int = field(default=1, compare=False)
+
+    @property
+    def quarantined(self) -> bool:
+        """True when the spec failed every retry and was excluded."""
+        return bool(self.error)
 
     def detected_sensors(self) -> List[int]:
         """Sensors diagnosed with anything (sorted)."""
         return sorted(self.sensor_diagnoses)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding for the campaign journal."""
+        return {
+            "name": self.name,
+            "n_days": int(self.n_days),
+            "seed": int(self.seed),
+            "n_windows": int(self.n_windows),
+            "n_model_states": int(self.n_model_states),
+            "system_diagnosis": self.system_diagnosis,
+            "sensor_diagnoses": {
+                str(sensor): [str(cat), str(kind), float(confidence)]
+                for sensor, (cat, kind, confidence)
+                in self.sensor_diagnoses.items()
+            },
+            "ground_truth": {
+                str(sensor): str(kind)
+                for sensor, kind in self.ground_truth.items()
+            },
+            "n_raw_alarms": int(self.n_raw_alarms),
+            "n_tracks": int(self.n_tracks),
+            "correct_model_labels": list(self.correct_model_labels),
+            "digest": self.digest,
+            "error": self.error,
+            "attempts": int(self.attempts),
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, payload: Mapping[str, object]
+    ) -> "ScenarioOutcome":
+        """Inverse of :meth:`to_json_dict` (journal resume path)."""
+        return cls(
+            name=str(payload["name"]),
+            n_days=int(payload["n_days"]),
+            seed=int(payload["seed"]),
+            n_windows=int(payload["n_windows"]),
+            n_model_states=int(payload["n_model_states"]),
+            system_diagnosis=str(payload["system_diagnosis"]),
+            sensor_diagnoses={
+                int(sensor): (str(entry[0]), str(entry[1]), float(entry[2]))
+                for sensor, entry
+                in dict(payload["sensor_diagnoses"]).items()
+            },
+            ground_truth={
+                int(sensor): str(kind)
+                for sensor, kind in dict(payload["ground_truth"]).items()
+            },
+            n_raw_alarms=int(payload["n_raw_alarms"]),
+            n_tracks=int(payload["n_tracks"]),
+            correct_model_labels=tuple(
+                str(label) for label in payload["correct_model_labels"]
+            ),
+            digest=str(payload["digest"]),
+            error=str(payload.get("error", "")),
+            attempts=int(payload.get("attempts", 1)),
+        )
 
 
 def _summarize_pipeline(
@@ -334,32 +439,535 @@ def _pool_worker_init() -> None:
     _WORKER_STATE["rng"] = np.random.default_rng((os.getpid(), 0x5EED))
 
 
+def campaign_spec_key(spec: ScenarioSpec) -> str:
+    """Content hash identifying ``spec`` in journals and chaos draws.
+
+    Same scheme as the :class:`~repro.traces.cache.TraceCache`: a
+    SHA-256 over the canonical scenario spec dict, generator version
+    included — so a behavioural change to trace generation retires
+    journal entries exactly like it retires cache entries.
+    """
+    from ..traces.cache import canonical_spec_hash, scenario_spec
+
+    return canonical_spec_hash(
+        scenario_spec(spec.name, spec.n_days, spec.seed)
+    )
+
+
+@dataclass(frozen=True)
+class _TaskPayload:
+    """Everything one worker attempt needs (small and picklable)."""
+
+    spec: ScenarioSpec
+    key: str
+    attempt: int
+    cache_dir: "Optional[Union[str, Path]]"
+    chaos: Optional[WorkerChaos]
+    inline: bool
+
+
+@dataclass
+class _Task:
+    """Orchestrator-side state of one spec's execution."""
+
+    index: int
+    spec: ScenarioSpec
+    key: str
+    attempt: int = 1
+    #: Monotonic-clock deadline of the in-flight attempt.
+    deadline: float = math.inf
+    #: Monotonic-clock release time while backing off between retries.
+    not_before: float = 0.0
+
+
+@dataclass
+class CampaignReport:
+    """Outcomes plus the recovery bookkeeping of one campaign run."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    #: Failed attempts that were retried (any failure kind).
+    n_retries: int = 0
+    #: Attempts declared hung after overrunning the task deadline.
+    n_timeouts: int = 0
+    #: Attempts lost to a dying worker process (SIGKILL/OOM/segfault),
+    #: including innocent in-flight tasks the broken pool took down.
+    n_worker_crashes: int = 0
+    #: Times the worker pool was torn down and rebuilt.
+    n_pool_rebuilds: int = 0
+    #: Specs replayed from the journal instead of re-executed.
+    n_journal_skips: int = 0
+
+    @property
+    def quarantined(self) -> List[ScenarioOutcome]:
+        """Specs that failed every retry (placeholder outcomes)."""
+        return [o for o in self.outcomes if o.quarantined]
+
+    @property
+    def ok(self) -> bool:
+        """True when no spec was quarantined."""
+        return not self.quarantined
+
+    def stats_line(self) -> str:
+        """Human-readable recovery counters for CLI output."""
+        return (
+            f"recovery: retries={self.n_retries} "
+            f"timeouts={self.n_timeouts} "
+            f"worker_crashes={self.n_worker_crashes} "
+            f"pool_rebuilds={self.n_pool_rebuilds} "
+            f"journal_skips={self.n_journal_skips} "
+            f"quarantined={len(self.quarantined)}"
+        )
+
+
+def _run_scenario_task(
+    payload: _TaskPayload,
+) -> "Union[ScenarioOutcome, TaskError]":
+    """Worker entry point: one attempt, failures returned not raised.
+
+    Exceptions are converted to :class:`TaskError` records *inside* the
+    worker so their tracebacks survive the process boundary verbatim.
+    ``KeyboardInterrupt`` propagates (the orchestrator owns shutdown);
+    a chaos-injected SIGKILL never returns at all and surfaces as
+    ``BrokenProcessPool`` on the parent's future.
+    """
+    try:
+        if payload.chaos is not None:
+            payload.chaos.apply(
+                payload.key, payload.attempt, inline=payload.inline
+            )
+        return _run_scenario_spec(payload.spec, cache_dir=payload.cache_dir)
+    except KeyboardInterrupt:
+        raise
+    except Exception as exc:
+        kind = (
+            "worker-crash"
+            if isinstance(exc, SimulatedWorkerCrash)
+            else "exception"
+        )
+        return TaskError(
+            kind=kind,
+            message=f"{type(exc).__name__}: {exc}",
+            traceback_text=traceback.format_exc(),
+        )
+
+
+def _spec_fields(spec: ScenarioSpec) -> Dict[str, object]:
+    return {"name": spec.name, "n_days": spec.n_days, "seed": spec.seed}
+
+
+def _complete_task(
+    task: _Task,
+    outcome: ScenarioOutcome,
+    journal: Optional[CampaignJournal],
+    results: "List[Optional[ScenarioOutcome]]",
+) -> None:
+    outcome = replace(outcome, attempts=task.attempt)
+    results[task.index] = outcome
+    if journal is not None:
+        journal.record_done(task.key, outcome.to_json_dict())
+
+
+def _quarantine_task(
+    task: _Task,
+    error: TaskError,
+    journal: Optional[CampaignJournal],
+    results: "List[Optional[ScenarioOutcome]]",
+) -> None:
+    """Record a poison spec: placeholder outcome, never an exception."""
+    outcome = ScenarioOutcome(
+        name=task.spec.name,
+        n_days=task.spec.n_days,
+        seed=task.spec.seed,
+        n_windows=0,
+        n_model_states=0,
+        system_diagnosis="",
+        sensor_diagnoses={},
+        ground_truth={},
+        n_raw_alarms=0,
+        n_tracks=0,
+        correct_model_labels=(),
+        digest="",
+        error=error.describe(),
+        attempts=task.attempt,
+    )
+    results[task.index] = outcome
+    if journal is not None:
+        journal.record_poisoned(task.key, outcome.error, task.attempt)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down hard, reclaiming every worker process.
+
+    ``shutdown(wait=False)`` alone would orphan a hung or chaos-struck
+    worker until its sleep ran out; terminating (and, as a last resort,
+    killing) the worker processes is what actually frees them after a
+    deadline overrun or a Ctrl-C.
+    """
+    worker_map = getattr(pool, "_processes", None)
+    processes = list(worker_map.values()) if worker_map else []
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - already-broken pools
+        pass
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+
+def _execute_inline(
+    tasks: List[_Task],
+    cache_dir: "Optional[Union[str, Path]]",
+    policy: RetryPolicy,
+    chaos: Optional[WorkerChaos],
+    journal: Optional[CampaignJournal],
+    results: "List[Optional[ScenarioOutcome]]",
+    report: CampaignReport,
+) -> None:
+    """Serial in-process execution (``n_jobs=1`` / single task).
+
+    Same retry/quarantine/journal semantics as the pool path, minus
+    deadlines (no second thread to enforce them) — chaos kills and
+    hangs degrade to :class:`SimulatedWorkerCrash` failures.  A
+    ``KeyboardInterrupt`` propagates after the journal is flushed by
+    the caller, leaving a resumable log.
+    """
+    for task in tasks:
+        while True:
+            if journal is not None:
+                journal.record_start(
+                    task.key, _spec_fields(task.spec), task.attempt
+                )
+            result = _run_scenario_task(
+                _TaskPayload(
+                    spec=task.spec,
+                    key=task.key,
+                    attempt=task.attempt,
+                    cache_dir=cache_dir,
+                    chaos=chaos,
+                    inline=True,
+                )
+            )
+            if not isinstance(result, TaskError):
+                _complete_task(task, result, journal, results)
+                break
+            if result.kind == "worker-crash":
+                report.n_worker_crashes += 1
+            if task.attempt > policy.max_retries:
+                _quarantine_task(task, result, journal, results)
+                break
+            if journal is not None:
+                journal.record_retry(
+                    task.key, task.attempt, result.kind, result.message
+                )
+            report.n_retries += 1
+            task.attempt += 1
+            delay = policy.delay(task.key, task.attempt)
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _execute_pool(
+    tasks: List[_Task],
+    n_workers: int,
+    cache_dir: "Optional[Union[str, Path]]",
+    policy: RetryPolicy,
+    chaos: Optional[WorkerChaos],
+    journal: Optional[CampaignJournal],
+    results: "List[Optional[ScenarioOutcome]]",
+    report: CampaignReport,
+) -> None:
+    """Fault-tolerant process-pool execution.
+
+    Per-task futures with deadlines; at most ``n_workers`` in flight so
+    a queued task's deadline never starts ticking before its worker
+    does.  A worker death breaks the whole pool (``BrokenProcessPool``),
+    so every in-flight task consumes an attempt — the culprit cannot be
+    told from the victims — and the pool is rebuilt.  A deadline
+    overrun tears the pool down too (the only way to reclaim a hung
+    worker), but there the victims are identifiable and are requeued
+    without consuming an attempt.
+    """
+    clock = time.monotonic
+    ready: "Deque[_Task]" = deque(tasks)
+    waiting: List[_Task] = []
+    in_flight: Dict[Future, _Task] = {}
+    pool = ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_pool_worker_init
+    )
+
+    def fail(task: _Task, error: TaskError) -> None:
+        if error.kind == "timeout":
+            report.n_timeouts += 1
+        elif error.kind == "worker-crash":
+            report.n_worker_crashes += 1
+        if task.attempt > policy.max_retries:
+            _quarantine_task(task, error, journal, results)
+            return
+        if journal is not None:
+            journal.record_retry(
+                task.key, task.attempt, error.kind, error.message
+            )
+        report.n_retries += 1
+        task.attempt += 1
+        task.not_before = clock() + policy.delay(task.key, task.attempt)
+        waiting.append(task)
+
+    def settle(future: Future, task: _Task) -> bool:
+        """Fold one finished future into results; True if pool broke."""
+        try:
+            result = future.result()
+        except BrokenProcessPool:
+            fail(
+                task,
+                TaskError(
+                    kind="worker-crash",
+                    message="worker process died mid-task "
+                    "(BrokenProcessPool)",
+                ),
+            )
+            return True
+        except Exception as exc:
+            fail(
+                task,
+                TaskError(
+                    kind="exception",
+                    message=f"{type(exc).__name__}: {exc}",
+                    traceback_text=traceback.format_exc(),
+                ),
+            )
+            return False
+        if isinstance(result, TaskError):
+            fail(task, result)
+        else:
+            _complete_task(task, result, journal, results)
+        return False
+
+    def rebuild() -> None:
+        nonlocal pool
+        report.n_pool_rebuilds += 1
+        _shutdown_pool(pool)
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers, initializer=_pool_worker_init
+        )
+
+    try:
+        while ready or waiting or in_flight:
+            now = clock()
+            if waiting:
+                due = [t for t in waiting if t.not_before <= now]
+                if due:
+                    waiting[:] = [t for t in waiting if t.not_before > now]
+                    ready.extend(sorted(due, key=lambda t: t.index))
+            while ready and len(in_flight) < n_workers:
+                task = ready.popleft()
+                if journal is not None:
+                    journal.record_start(
+                        task.key, _spec_fields(task.spec), task.attempt
+                    )
+                future = pool.submit(
+                    _run_scenario_task,
+                    _TaskPayload(
+                        spec=task.spec,
+                        key=task.key,
+                        attempt=task.attempt,
+                        cache_dir=cache_dir,
+                        chaos=chaos,
+                        inline=False,
+                    ),
+                )
+                task.deadline = (
+                    clock() + policy.task_timeout
+                    if policy.task_timeout
+                    else math.inf
+                )
+                in_flight[future] = task
+            if not in_flight:
+                # Everyone is backing off: sleep to the first release.
+                pause = min(t.not_before for t in waiting) - clock()
+                if pause > 0:
+                    time.sleep(pause)
+                continue
+
+            horizon = min(t.deadline for t in in_flight.values())
+            if waiting:
+                horizon = min(
+                    horizon, min(t.not_before for t in waiting)
+                )
+            timeout = min(max(horizon - clock(), 0.0), 0.5)
+            done, _ = futures_wait(
+                set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+
+            broken = False
+            for future in done:
+                broken |= settle(future, in_flight.pop(future))
+            if broken:
+                # The pool died under the remaining in-flight tasks.
+                # Any that raced to completion first still have results;
+                # the rest consume an attempt (chaos draws are
+                # per-attempt, so a victim retries with fresh luck).
+                for future, task in list(in_flight.items()):
+                    if future.done():
+                        settle(future, task)
+                    else:
+                        fail(
+                            task,
+                            TaskError(
+                                kind="worker-crash",
+                                message="worker pool broke under this "
+                                "task",
+                            ),
+                        )
+                in_flight.clear()
+                rebuild()
+                continue
+
+            now = clock()
+            overdue = [
+                task
+                for future, task in in_flight.items()
+                if task.deadline <= now and not future.done()
+            ]
+            if overdue:
+                # Hung workers are only reclaimable by pool teardown.
+                for future, task in list(in_flight.items()):
+                    if future.done():
+                        settle(future, task)
+                    elif task.deadline <= now:
+                        fail(
+                            task,
+                            TaskError(
+                                kind="timeout",
+                                message=(
+                                    "no result within "
+                                    f"{policy.task_timeout:.1f}s deadline "
+                                    f"(attempt {task.attempt})"
+                                ),
+                            ),
+                        )
+                    else:
+                        # Innocent bystander of the teardown: requeue
+                        # without consuming an attempt.
+                        ready.append(task)
+                in_flight.clear()
+                rebuild()
+    except KeyboardInterrupt:
+        # Graceful Ctrl-C: cancel pending work, reclaim every worker,
+        # leave the journal flushed so the campaign is resumable.
+        _shutdown_pool(pool)
+        if journal is not None:
+            journal.flush()
+        raise
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_campaign(
+    specs: Sequence[ScenarioSpec],
+    n_jobs: Optional[int] = None,
+    cache_dir: "Optional[Union[str, Path]]" = None,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[WorkerChaos] = None,
+    journal_dir: "Optional[Union[str, Path]]" = None,
+) -> CampaignReport:
+    """Run a campaign fault-tolerantly; outcomes in submission order.
+
+    Determinism contract: every worker rebuilds its scenario from the
+    spec's own seed (nothing is shared across workers), and outcomes
+    are collected in spec order — so the result is identical for any
+    ``n_jobs`` and for any interleaving of crashes, retries, and
+    resumes; only the ``attempts`` bookkeeping (excluded from
+    equality) differs.
+
+    ``policy`` governs retries, backoff, and per-task deadlines;
+    ``chaos`` injects seeded worker-level faults (soak testing);
+    ``journal_dir`` enables the durable write-ahead log — a rerun
+    against the same directory replays completed specs exactly-once
+    and executes only the remainder.  ``cache_dir`` enables the
+    scenario trace cache as before.  A spec that fails every retry is
+    quarantined: its placeholder outcome (``error`` set, no digest)
+    keeps the campaign order, and :attr:`CampaignReport.quarantined`
+    surfaces it — a poison spec never discards finished results.
+    """
+    specs = list(specs)
+    policy = policy or RetryPolicy()
+    n_jobs = resolve_n_jobs(n_jobs)
+    report = CampaignReport()
+    journal = (
+        CampaignJournal(journal_dir) if journal_dir is not None else None
+    )
+    keys = [campaign_spec_key(spec) for spec in specs]
+    results: "List[Optional[ScenarioOutcome]]" = [None] * len(specs)
+    if journal is not None:
+        completed = journal.completed_outcomes()
+        for index, key in enumerate(keys):
+            payload = completed.get(key)
+            if payload is None:
+                continue
+            try:
+                results[index] = ScenarioOutcome.from_json_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed journal outcome: re-run the spec
+            report.n_journal_skips += 1
+    tasks = [
+        _Task(index=index, spec=spec, key=key)
+        for index, (spec, key) in enumerate(zip(specs, keys))
+        if results[index] is None
+    ]
+    try:
+        if tasks:
+            if n_jobs == 1 or len(tasks) <= 1:
+                _execute_inline(
+                    tasks, cache_dir, policy, chaos, journal, results, report
+                )
+            else:
+                _execute_pool(
+                    tasks,
+                    min(n_jobs, len(tasks)),
+                    cache_dir,
+                    policy,
+                    chaos,
+                    journal,
+                    results,
+                    report,
+                )
+    finally:
+        if journal is not None:
+            journal.close()
+    report.outcomes = [
+        outcome for outcome in results if outcome is not None
+    ]
+    return report
+
+
 def run_scenarios_parallel(
     specs: Sequence[ScenarioSpec],
     n_jobs: Optional[int] = None,
     cache_dir: "Optional[Union[str, Path]]" = None,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[WorkerChaos] = None,
+    journal_dir: "Optional[Union[str, Path]]" = None,
 ) -> List[ScenarioOutcome]:
-    """Run many scenarios across processes; results in submission order.
+    """Outcome-list view of :func:`run_campaign` (original API).
 
-    Determinism contract: every worker rebuilds its scenario from the
-    spec's own seed (nothing is shared across workers), and outcomes are
-    collected in spec order — so the returned list is identical for any
-    ``n_jobs``, including the serial in-process path.
-
-    ``cache_dir`` enables the scenario trace cache: workers load
-    previously generated traces instead of re-simulating (identical
-    outcomes either way — the cache-correctness CI job compares the
-    digests).  Specs are submitted in chunks so per-task IPC overhead
-    does not swallow the parallel speedup on short scenario lists.
+    Identical semantics — fault-tolerant executor, retries, quarantine,
+    optional journal — returning just the outcomes in submission order.
+    Use :func:`run_campaign` when the recovery counters matter.
     """
-    specs = list(specs)
-    n_jobs = resolve_n_jobs(n_jobs)
-    worker = partial(_run_scenario_spec, cache_dir=cache_dir)
-    if n_jobs == 1 or len(specs) <= 1:
-        return [worker(spec) for spec in specs]
-    n_workers = min(n_jobs, len(specs))
-    chunksize = max(1, len(specs) // (n_workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=n_workers, initializer=_pool_worker_init
-    ) as pool:
-        return list(pool.map(worker, specs, chunksize=chunksize))
+    return run_campaign(
+        specs,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+        policy=policy,
+        chaos=chaos,
+        journal_dir=journal_dir,
+    ).outcomes

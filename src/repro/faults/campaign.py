@@ -102,16 +102,22 @@ def run_campaigns_parallel(
     seed: int = 2003,
     n_jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    policy: Optional[object] = None,
+    chaos: Optional[object] = None,
+    journal_dir: Optional[str] = None,
 ) -> List["ScenarioOutcome"]:
     """Run the named standard campaigns across a process pool.
 
-    Thin campaign-facing wrapper over
+    Thin campaign-facing wrapper over the fault-tolerant
     :func:`repro.experiments.runner.run_scenarios_parallel` (imported
     lazily — the experiments package imports this module).  Returns
     :class:`~repro.experiments.runner.ScenarioOutcome` summaries in the
     order the names were given, identical for any ``n_jobs``; with a
     ``cache_dir``, previously generated traces are loaded from the
-    scenario cache instead of re-simulated.
+    scenario cache instead of re-simulated.  ``policy`` (a
+    :class:`~repro.experiments.retry.RetryPolicy`), ``chaos`` (a
+    :class:`~repro.resilience.chaos.WorkerChaos`) and ``journal_dir``
+    pass straight through to the campaign runtime.
     """
     from ..experiments.runner import ScenarioSpec, run_scenarios_parallel
 
@@ -119,7 +125,14 @@ def run_campaigns_parallel(
         ScenarioSpec(name=name, n_days=n_days, seed=seed)
         for name in scenario_names
     ]
-    return run_scenarios_parallel(specs, n_jobs=n_jobs, cache_dir=cache_dir)
+    return run_scenarios_parallel(
+        specs,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+        policy=policy,
+        chaos=chaos,
+        journal_dir=journal_dir,
+    )
 
 
 def choose_compromised(

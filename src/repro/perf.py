@@ -343,6 +343,58 @@ def bench_trace_generation(
     }
 
 
+def bench_recovery(
+    n_days: int = 2, seed: int = 2003, kill_probability: float = 0.2
+) -> Dict[str, object]:
+    """Fault-recovery overhead of the campaign runtime (schema 4).
+
+    Runs the same small campaign through the pool twice — once clean,
+    once with seeded worker-kill chaos — and reports the wall-clock
+    overhead of surviving the kills (pool rebuilds + retried attempts)
+    alongside the recovery counters.  The chaos run's digests must be
+    bit-identical to the clean run's for every non-quarantined spec;
+    divergence is a correctness bug, not a perf number.
+    """
+    from .experiments.retry import RetryPolicy
+    from .experiments.runner import ScenarioSpec, run_campaign
+    from .resilience.chaos import WorkerChaos
+
+    names = ["clean", "stuck_at", "calibration"]
+    specs = [ScenarioSpec(name, n_days=n_days, seed=seed) for name in names]
+
+    start = time.perf_counter()
+    clean = run_campaign(specs, n_jobs=2)
+    clean_seconds = time.perf_counter() - start
+
+    # Seed chosen so the deterministic draws actually contain kills
+    # (two first-attempt kills across the three specs): a kill-free
+    # draw would measure nothing.
+    chaos = WorkerChaos(kill_probability=kill_probability, seed=28)
+    policy = RetryPolicy(max_retries=6, backoff_base=0.01)
+    start = time.perf_counter()
+    battered = run_campaign(specs, n_jobs=2, chaos=chaos, policy=policy)
+    chaos_seconds = time.perf_counter() - start
+
+    for before, after in zip(clean.outcomes, battered.outcomes):
+        if not after.quarantined and before.digest != after.digest:
+            # pragma: no cover - recovery correctness violation
+            raise AssertionError(
+                f"chaos campaign diverged from clean run on {before.name}"
+            )
+    return {
+        "scenarios": names,
+        "n_days": n_days,
+        "kill_probability": kill_probability,
+        "clean_seconds": round(clean_seconds, 3),
+        "chaos_seconds": round(chaos_seconds, 3),
+        "overhead_ratio": round(chaos_seconds / clean_seconds, 2),
+        "retries": battered.n_retries,
+        "worker_crashes": battered.n_worker_crashes,
+        "pool_rebuilds": battered.n_pool_rebuilds,
+        "quarantined": len(battered.quarantined),
+    }
+
+
 def bench_cache(n_days: int = 3, seed: int = 2003) -> Dict[str, object]:
     """Campaign wall-clock cold (cache miss) vs hot (cache hit).
 
@@ -384,7 +436,7 @@ def run_bench(
     trace_generation = bench_trace_generation(repeats=repeats)
     filter_bank = bench_filter_bank(repeats=max(repeats, 5))
     return {
-        "schema": 3,
+        "schema": 4,
         "pipeline_us_per_window": round(bench_pipeline(repeats=repeats), 1),
         "fused_pipeline_us_per_window": round(
             bench_fused_pipeline(repeats=max(repeats, 5)), 1
@@ -397,6 +449,7 @@ def run_bench(
         "trace_generation": trace_generation,
         "campaign": bench_campaign(n_jobs=n_jobs),
         "cache": bench_cache(),
+        "recovery": bench_recovery(),
         "baseline_pre_optimization": dict(PRE_OPTIMIZATION_BASELINE),
         "environment": {
             "python": platform.python_version(),
@@ -470,6 +523,18 @@ def render(result: Dict[str, object]) -> str:
             f"  cache ({len(cache['scenarios'])} scenarios, "
             f"{cache['n_days']} days): cold {cache['cold_seconds']}s, "
             f"hot {cache['hot_seconds']}s -> {cache['speedup']}x"
+        )
+    recovery = result.get("recovery")
+    if recovery:
+        lines.append(
+            f"  recovery ({len(recovery['scenarios'])} scenarios, "
+            f"{recovery['kill_probability']:.0%} worker kills): clean "
+            f"{recovery['clean_seconds']}s, chaos "
+            f"{recovery['chaos_seconds']}s -> "
+            f"{recovery['overhead_ratio']}x overhead "
+            f"({recovery['retries']} retries, "
+            f"{recovery['pool_rebuilds']} pool rebuilds, "
+            f"{recovery['quarantined']} quarantined)"
         )
     return "\n".join(lines)
 

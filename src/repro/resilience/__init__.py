@@ -42,7 +42,14 @@ from .checkpoint import (
     save_checkpoint,
     snapshot,
 )
-from .chaos import ChaosCampaign, ChaosReport, ChaosSpec
+from .chaos import (
+    ChaosCampaign,
+    ChaosReport,
+    ChaosSpec,
+    SimulatedWorkerCrash,
+    WorkerChaos,
+    WorkerChaosError,
+)
 from .fuzz import FuzzReport, pathological_window, run_fuzz
 from .invariants import (
     DEFAULT_INVARIANTS,
@@ -68,7 +75,10 @@ __all__ = [
     "InvariantWarning",
     "ModelUnderAttack",
     "PipelineSupervisor",
+    "SimulatedWorkerCrash",
     "Violation",
+    "WorkerChaos",
+    "WorkerChaosError",
     "check_invariants",
     "default_invariants",
     "load_checkpoint",

@@ -20,7 +20,11 @@ packets are counted; detection still converges, just later.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import signal
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -283,3 +287,111 @@ def run_chaos(
 ) -> "tuple[ChaosReport, DetectionPipeline]":
     """Convenience wrapper: build and run one chaos campaign."""
     return ChaosCampaign(spec, config).run()
+
+
+# -- worker-level fault injection ------------------------------------------
+
+
+class WorkerChaosError(RuntimeError):
+    """Exception injected into a campaign worker by :class:`WorkerChaos`."""
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Inline stand-in for a worker kill/hang.
+
+    The serial in-process campaign path cannot SIGKILL itself or hang
+    without deadlocking the orchestrator, so inline chaos converts both
+    actions into this exception — still a task failure, still retried,
+    but survivable without a process pool.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """Seeded worker-level fault injection for campaign soak tests.
+
+    The link and collector chaos in :class:`ChaosCampaign` attacks the
+    *simulated* infrastructure; this policy attacks the *campaign
+    runtime itself*, inside worker tasks, the way real fleets fail:
+    the worker process dies (SIGKILL — stands in for OOM kills and
+    segfaults), hangs past any reasonable deadline, or raises.
+
+    Decisions are drawn deterministically from SHA-256 over
+    ``(seed, task key, attempt)``: the same campaign with the same seed
+    injects the same faults in every run, and a retried attempt gets a
+    fresh independent draw — so with per-attempt fault probability
+    ``p`` and ``r`` retries a spec is only lost with probability
+    ``p ** (r + 1)``.  The policy is picklable and travels to workers
+    inside the task payload.
+    """
+
+    #: Per-attempt probability the worker process is SIGKILLed.
+    kill_probability: float = 0.0
+    #: Per-attempt probability the task hangs for ``hang_seconds``.
+    hang_probability: float = 0.0
+    #: Per-attempt probability the task raises :class:`WorkerChaosError`.
+    exception_probability: float = 0.0
+    #: How long a hang sleeps (pool deadlines should be far shorter).
+    hang_seconds: float = 600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in (
+            "kill_probability",
+            "hang_probability",
+            "exception_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+            total += value
+        if total > 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+
+    def draw(self, key: str, attempt: int) -> Optional[str]:
+        """The fault injected for this (task, attempt), or None.
+
+        Deterministic: one uniform draw from a SHA-256 over
+        ``(seed, key, attempt)`` partitioned into kill / hang /
+        exception bands.
+        """
+        text = f"worker-chaos:{self.seed}:{key}:{attempt}"
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0**64
+        edge = self.kill_probability
+        if u < edge:
+            return "kill"
+        edge += self.hang_probability
+        if u < edge:
+            return "hang"
+        edge += self.exception_probability
+        if u < edge:
+            return "exception"
+        return None
+
+    def apply(self, key: str, attempt: int, inline: bool = False) -> None:
+        """Inject the drawn fault (if any) into the current task.
+
+        In a pool worker a ``kill`` SIGKILLs the process (the parent
+        sees ``BrokenProcessPool``) and a ``hang`` sleeps past the
+        task deadline; inline both degrade to
+        :class:`SimulatedWorkerCrash` so the serial path stays
+        testable.
+        """
+        action = self.draw(key, attempt)
+        if action is None:
+            return
+        if action == "exception":
+            raise WorkerChaosError(
+                f"injected exception (task {key[:12]}, attempt {attempt})"
+            )
+        if inline:
+            raise SimulatedWorkerCrash(
+                f"injected {action} (task {key[:12]}, attempt {attempt})"
+            )
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(self.hang_seconds)

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
@@ -192,8 +193,16 @@ class TraceCache:
             },
             sort_keys=True,
         )
+        # The temp name embeds the writer's process and thread ids on
+        # top of mkstemp's own uniqueness: concurrent workers racing on
+        # the same miss each write their own temp file and the atomic
+        # os.replace below publishes whichever finishes last — the
+        # bytes are identical by construction (same spec, same seed),
+        # so the entry is intact either way.
         fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".npz"
+            dir=self.root,
+            prefix=f".tmp-{os.getpid()}-{threading.get_ident()}-",
+            suffix=".npz",
         )
         try:
             with os.fdopen(fd, "wb") as handle:

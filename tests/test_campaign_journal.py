@@ -1,0 +1,303 @@
+"""Durable campaign journal: write-ahead logging and exactly-once resume.
+
+The load-bearing property (ISSUE 6, satellite 4): a journaled campaign
+interrupted at *any* task boundary and resumed against the same journal
+directory produces final digests bit-identical to an uninterrupted run,
+re-executing only the unfinished specs — including when both runs share
+one ``TraceCache`` directory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_VERSION,
+    CampaignJournal,
+)
+from repro.experiments.retry import RetryPolicy
+from repro.experiments.runner import (
+    ScenarioOutcome,
+    ScenarioSpec,
+    campaign_spec_key,
+    run_campaign,
+)
+from repro.resilience.chaos import WorkerChaos
+
+SPECS = [
+    ScenarioSpec("clean", n_days=1, seed=17),
+    ScenarioSpec("stuck_at", n_days=1, seed=17),
+    ScenarioSpec("calibration", n_days=1, seed=23),
+]
+FAST = RetryPolicy(backoff_base=0.0)
+
+
+def _journal_lines(root):
+    return (root / JOURNAL_FILENAME).read_text().splitlines()
+
+
+class TestJournalFile:
+    def test_meta_line_written_once(self, tmp_path):
+        with CampaignJournal(tmp_path) as journal:
+            journal.record_start("k1", {"kind": "x"}, attempt=1)
+        with CampaignJournal(tmp_path) as journal:
+            journal.record_start("k1", {"kind": "x"}, attempt=2)
+        lines = _journal_lines(tmp_path)
+        metas = [l for l in lines if '"meta"' in l]
+        assert len(metas) == 1
+        assert json.loads(metas[0])["version"] == JOURNAL_VERSION
+        assert len(lines) == 3  # meta + two starts, append across reopens
+
+    def test_event_round_trip(self, tmp_path):
+        with CampaignJournal(tmp_path) as journal:
+            journal.record_start("k1", {"scenario": "clean"}, attempt=1)
+            journal.record_retry("k1", attempt=1, kind="timeout", message="slow")
+            journal.record_done("k1", {"digest": "abc123", "name": "clean"})
+            journal.record_poisoned("k2", error="exception: boom", attempts=3)
+        records = list(CampaignJournal(tmp_path).records())
+        events = [r["event"] for r in records]
+        assert events == ["meta", "start", "retry", "done", "poisoned"]
+        assert records[3]["digest"] == "abc123"
+        assert records[3]["outcome"] == {"digest": "abc123", "name": "clean"}
+        assert records[4] == {
+            "event": "poisoned",
+            "key": "k2",
+            "error": "exception: boom",
+            "attempts": 3,
+        }
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        with CampaignJournal(tmp_path) as journal:
+            journal.record_done("k1", {"digest": "aa"})
+            journal.record_done("k2", {"digest": "bb"})
+        path = tmp_path / JOURNAL_FILENAME
+        text = path.read_text()
+        # Simulate a crash mid-write: chop the last record in half.
+        path.write_text(text[: len(text) - 20])
+        journal = CampaignJournal(tmp_path)
+        assert list(journal.completed_outcomes()) == ["k1"]
+        # Appending after the torn line must not weld the fresh record
+        # onto the half-record: the writer seals the torn tail with a
+        # newline on reopen, so only the torn line itself is lost.
+        journal.record_done("k3", {"digest": "cc"})
+        journal.close()
+        assert set(CampaignJournal(tmp_path).completed_outcomes()) == {
+            "k1",
+            "k3",
+        }
+
+    def test_poisoned_clears_earlier_done(self, tmp_path):
+        with CampaignJournal(tmp_path) as journal:
+            journal.record_done("k1", {"digest": "aa"})
+            journal.record_poisoned("k1", error="exception: x", attempts=2)
+        journal = CampaignJournal(tmp_path)
+        assert journal.completed_outcomes() == {}
+        assert [r["key"] for r in journal.poisoned()] == ["k1"]
+
+
+class TestResume:
+    def test_completed_specs_are_not_reexecuted(self, tmp_path, monkeypatch):
+        first = run_campaign(SPECS, n_jobs=1, journal_dir=tmp_path)
+        assert first.n_journal_skips == 0
+
+        executed = []
+        real = runner._run_scenario_spec
+
+        def counting(spec, cache_dir=None):
+            executed.append(spec.name)
+            return real(spec, cache_dir)
+
+        monkeypatch.setattr(runner, "_run_scenario_spec", counting)
+        second = run_campaign(SPECS, n_jobs=1, journal_dir=tmp_path)
+        assert executed == []  # exactly-once: nothing re-ran
+        assert second.n_journal_skips == len(SPECS)
+        assert second.outcomes == first.outcomes
+        assert [o.digest for o in second.outcomes] == [
+            o.digest for o in first.outcomes
+        ]
+
+    def test_poisoned_specs_rerun_on_resume(self, tmp_path):
+        # First run: every attempt raises, all specs quarantined.
+        poisoned = run_campaign(
+            SPECS,
+            n_jobs=1,
+            journal_dir=tmp_path,
+            chaos=WorkerChaos(exception_probability=1.0),
+            policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+        )
+        assert all(o.quarantined for o in poisoned.outcomes)
+        assert len(CampaignJournal(tmp_path).poisoned()) == len(SPECS)
+        # Resume without chaos: the quarantined specs get a fresh chance.
+        resumed = run_campaign(SPECS, n_jobs=1, journal_dir=tmp_path)
+        assert resumed.n_journal_skips == 0
+        assert resumed.ok
+        assert resumed.outcomes == run_campaign(SPECS, n_jobs=1).outcomes
+
+    def test_malformed_done_outcome_reruns_spec(self, tmp_path):
+        run_campaign(SPECS[:1], n_jobs=1, journal_dir=tmp_path)
+        key = campaign_spec_key(SPECS[0])
+        with CampaignJournal(tmp_path) as journal:
+            journal.record_done(key, {"digest": "zz"})  # missing fields
+        report = run_campaign(SPECS[:1], n_jobs=1, journal_dir=tmp_path)
+        assert report.n_journal_skips == 0
+        assert report.outcomes == run_campaign(SPECS[:1], n_jobs=1).outcomes
+
+    def test_stale_keys_do_not_match_other_specs(self, tmp_path):
+        run_campaign(SPECS[:1], n_jobs=1, journal_dir=tmp_path)
+        other = [ScenarioSpec("clean", n_days=1, seed=99)]
+        report = run_campaign(other, n_jobs=1, journal_dir=tmp_path)
+        assert report.n_journal_skips == 0  # different seed, different key
+
+
+class TestPrefixResumeProperty:
+    """Satellite 4: resume from any prefix is bit-identical."""
+
+    def test_any_done_prefix_resumes_bit_identically(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        full_dir = tmp_path / "full"
+        reference = run_campaign(
+            SPECS, n_jobs=1, cache_dir=cache_dir, journal_dir=full_dir
+        )
+        assert reference.ok
+        lines = _journal_lines(full_dir)
+        meta = lines[0]
+        done_lines = [
+            line
+            for line in lines
+            if json.loads(line).get("event") == "done"
+        ]
+        assert len(done_lines) == len(SPECS)
+
+        for k in range(len(SPECS) + 1):
+            # A journal truncated at an arbitrary task boundary: the
+            # first k completions survived the crash, the rest did not.
+            prefix_dir = tmp_path / f"prefix-{k}"
+            prefix_dir.mkdir()
+            (prefix_dir / JOURNAL_FILENAME).write_text(
+                "\n".join([meta] + done_lines[:k]) + "\n"
+            )
+            resumed = run_campaign(
+                SPECS,
+                n_jobs=1,
+                cache_dir=cache_dir,
+                journal_dir=prefix_dir,
+            )
+            assert resumed.n_journal_skips == k
+            assert resumed.outcomes == reference.outcomes
+            assert [o.digest for o in resumed.outcomes] == [
+                o.digest for o in reference.outcomes
+            ]
+
+    def test_resume_without_cache_matches_cached_run(self, tmp_path):
+        # The journal must compose with — not depend on — the cache:
+        # replayed outcomes come from the journal, executed ones from a
+        # fresh simulation, and the digests agree either way.
+        cached = run_campaign(
+            SPECS,
+            n_jobs=1,
+            cache_dir=tmp_path / "cache",
+            journal_dir=tmp_path / "journal",
+        )
+        lines = _journal_lines(tmp_path / "journal")
+        prefix_dir = tmp_path / "prefix"
+        prefix_dir.mkdir()
+        done_lines = [
+            line
+            for line in lines
+            if json.loads(line).get("event") == "done"
+        ]
+        (prefix_dir / JOURNAL_FILENAME).write_text(
+            "\n".join([lines[0]] + done_lines[:1]) + "\n"
+        )
+        resumed = run_campaign(SPECS, n_jobs=1, journal_dir=prefix_dir)
+        assert resumed.n_journal_skips == 1
+        assert [o.digest for o in resumed.outcomes] == [
+            o.digest for o in cached.outcomes
+        ]
+
+
+class TestInterrupt:
+    def test_keyboard_interrupt_flushes_journal(self, tmp_path, monkeypatch):
+        reference = run_campaign(SPECS, n_jobs=1)
+        real = runner._run_scenario_spec
+        calls = []
+
+        def interrupting(spec, cache_dir=None):
+            calls.append(spec.name)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            return real(spec, cache_dir)
+
+        monkeypatch.setattr(runner, "_run_scenario_spec", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(SPECS, n_jobs=1, journal_dir=tmp_path)
+
+        # The completed first spec reached disk before the interrupt.
+        journal = CampaignJournal(tmp_path)
+        completed = journal.completed_outcomes()
+        assert len(completed) == 1
+        key = campaign_spec_key(SPECS[0])
+        assert ScenarioOutcome.from_json_dict(completed[key]) == (
+            reference.outcomes[0]
+        )
+
+        # Resume finishes the remainder and matches the clean run.
+        monkeypatch.setattr(runner, "_run_scenario_spec", real)
+        resumed = run_campaign(SPECS, n_jobs=1, journal_dir=tmp_path)
+        assert resumed.n_journal_skips == 1
+        assert resumed.outcomes == reference.outcomes
+
+    def test_sigkilled_campaign_resumes_exactly_once(self, tmp_path):
+        """Out-of-process SIGKILL: the strongest crash the WAL handles."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+
+        journal_dir = tmp_path / "journal"
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.experiments import runner
+            from repro.experiments.runner import ScenarioSpec, run_campaign
+
+            real = runner._run_scenario_spec
+
+            def lethal(spec, cache_dir=None):
+                outcome = real(spec, cache_dir)
+                if spec.name == "stuck_at":
+                    os.kill(os.getpid(), 9)  # after run, before record_done
+                return outcome
+
+            runner._run_scenario_spec = lethal
+            run_campaign(
+                [
+                    ScenarioSpec("clean", n_days=1, seed=17),
+                    ScenarioSpec("stuck_at", n_days=1, seed=17),
+                    ScenarioSpec("calibration", n_days=1, seed=23),
+                ],
+                n_jobs=1,
+                journal_dir=sys.argv[1],
+            )
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(journal_dir)],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        # Exactly the pre-crash completion survived; resume runs only
+        # the remainder and lands on the clean run's digests.
+        assert len(CampaignJournal(journal_dir).completed_outcomes()) == 1
+        resumed = run_campaign(SPECS, n_jobs=1, journal_dir=journal_dir)
+        assert resumed.n_journal_skips == 1
+        assert resumed.outcomes == run_campaign(SPECS, n_jobs=1).outcomes

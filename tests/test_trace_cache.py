@@ -224,3 +224,91 @@ class TestCampaignIntegration:
         specs = [ScenarioSpec("clean", n_days=2, seed=5)]
         run_scenarios_parallel(specs, n_jobs=1, cache_dir=str(target))
         assert list(target.glob("*.npz"))
+
+
+def _deterministic_store_args(seed: int = 4):
+    """Identical bytes for every writer — the multi-writer invariant."""
+    rng = np.random.default_rng(seed)
+    return dict(
+        timestamps=np.arange(30, dtype=float) * 5.0,
+        sensor_ids=np.arange(30, dtype=np.int64) % 5,
+        values=rng.normal(20.0, 1.0, size=(30, 2)),
+        attribute_names=("temperature", "humidity"),
+        metadata={"accepted": 30.0, "lost": 0.0},
+        ground_truth={2: "stuck_at"},
+        label="stuck-at",
+    )
+
+
+def _store_same_entry(root) -> str:
+    """Worker body for the cross-process race (module-level: picklable)."""
+    cache = TraceCache(root)
+    spec = scenario_spec("race", n_days=1, seed=4)
+    return str(cache.store(spec, **_deterministic_store_args()))
+
+
+class TestConcurrentWriters:
+    """Writers racing on the same miss must never publish a torn entry."""
+
+    def test_temp_names_are_writer_unique(self, tmp_path, monkeypatch):
+        import os
+        import threading
+
+        seen = []
+        real_mkstemp = cache_module.tempfile.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            seen.append(kwargs["prefix"])
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module.tempfile, "mkstemp", spying_mkstemp)
+        TraceCache(tmp_path).store(
+            scenario_spec("clean", n_days=1, seed=9),
+            **_deterministic_store_args(),
+        )
+        assert seen == [f".tmp-{os.getpid()}-{threading.get_ident()}-"]
+
+    def test_two_threads_race_on_the_same_miss(self, tmp_path):
+        import threading
+
+        spec = scenario_spec("race", n_days=1, seed=4)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def writer():
+            try:
+                barrier.wait(timeout=30)
+                _store_same_entry(tmp_path)
+            except Exception as exc:  # surfaced below; threads swallow
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        # Whichever writer published last, the entry is intact.
+        entry = TraceCache(tmp_path).load(spec)
+        assert entry is not None
+        expected = _deterministic_store_args()
+        assert np.array_equal(entry.values, expected["values"])
+        assert entry.ground_truth == expected["ground_truth"]
+        # No abandoned temp files survive a clean race.
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_two_processes_race_on_the_same_miss(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        spec = scenario_spec("race", n_days=1, seed=4)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            paths = list(
+                pool.map(_store_same_entry, [tmp_path, tmp_path])
+            )
+        assert paths[0] == paths[1]  # same content hash, same entry
+        entry = TraceCache(tmp_path).load(spec)
+        assert entry is not None
+        expected = _deterministic_store_args()
+        assert np.array_equal(entry.timestamps, expected["timestamps"])
+        assert np.array_equal(entry.values, expected["values"])
+        assert not list(tmp_path.glob(".tmp-*"))
