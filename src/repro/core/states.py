@@ -115,6 +115,9 @@ class StateSet:
         self._pair_matrix: Optional[np.ndarray] = None
         self._pair_ids: Optional[List[int]] = None
         self._pair_dirty: "set[int]" = set()
+        #: Reused (diff, squared-norm) buffers for the distance kernel,
+        #: keyed implicitly by shape (see :meth:`_distances_unguarded`).
+        self._distance_scratch: Optional[tuple] = None
         #: Certified lower bound on the current minimum pairwise distance,
         #: or ``None`` when unknown.  Set to the found minimum after every
         #: :meth:`closest_pair` scan; an Eq. 6 move of magnitude ``δ`` can
@@ -251,12 +254,16 @@ class StateSet:
         if self._pair_matrix is not None:
             self._pair_dirty.add(state.state_id)
         bound = self._pair_min_bound
-        if bound is not None:
+        if bound is not None and not math.isinf(bound):
             # A move of magnitude δ shrinks any pairwise distance by at
             # most δ.  Over-subtract a relative slack so rounding in the
             # decay (or in the distances themselves) can never leave the
             # bound above what the next scan would measure.  A NaN move
             # poisons the bound, forcing a scan — the conservative side.
+            # An ``inf`` bound (under two live states at the last scan —
+            # no pair exists to shrink) survives any move untouched;
+            # running it through the decay would compute inf - inf = NaN
+            # and force a pointless rescan every window.
             # Python-float accumulation: the vectors are tiny (d = 2 for
             # the paper's deployments) and this runs once per Eq. 6
             # update, so small-array NumPy overhead would dominate.
@@ -425,8 +432,20 @@ class StateSet:
         matrix, ids = self._ensure_cache()
         if not ids:
             return np.zeros((points.shape[0], 0)), ids
-        diff = points[:, None, :] - matrix[None, :, :]
-        return np.sqrt(np.einsum("nmd,nmd->nm", diff, diff)), ids
+        # The (N, M, d) difference tensor and its squared-norm reduction
+        # are scratch: recycle them across calls of the same shape (the
+        # steady fused loop hits one shape for whole stretches).  Only
+        # the returned distance matrix is freshly allocated — callers
+        # hold on to it across further distance queries.
+        shape = (points.shape[0], len(ids), matrix.shape[1])
+        scratch = self._distance_scratch
+        if scratch is None or scratch[0].shape != shape:
+            scratch = (np.empty(shape), np.empty(shape[:2]))
+            self._distance_scratch = scratch
+        diff, sq = scratch
+        np.subtract(points[:, None, :], matrix[None, :, :], out=diff)
+        np.einsum("nmd,nmd->nm", diff, diff, out=sq)
+        return np.sqrt(sq), ids
 
     def nearest(self, point: np.ndarray) -> Tuple[ModelState, float]:
         """The live state closest to ``point`` and its distance.
@@ -546,6 +565,11 @@ class StateSet:
         bound = self._pair_min_bound
         if bound is None:
             return None
+        if math.isinf(bound):
+            # No pair existed at the last scan; a centroid move cannot
+            # create one, so the bound stays infinite (the IEEE decay
+            # would produce inf - inf = NaN and fail certification).
+            return bound
         return (bound - delta) - (abs(bound) + delta) * 1e-12
 
     def commit_pair_bound(self, bound: Optional[float]) -> None:

@@ -42,6 +42,7 @@ from .runner import (
     campaign_spec_key,
     compute_initial_states,
     run_campaign,
+    run_fleet,
     run_pipeline,
     run_scenario,
     run_scenarios_parallel,
@@ -140,6 +141,7 @@ __all__ = [
     "random_noise_scenario",
     "reference_states",
     "run_campaign",
+    "run_fleet",
     "run_pipeline",
     "run_scenario",
     "run_scenarios_parallel",

@@ -1,0 +1,12 @@
+"""Multi-tenant fleet engine: N independent pipelines, one SoA hot loop.
+
+:class:`FleetEngine` packs many independent :class:`DetectionPipeline`
+instances ("tenants") into shared struct-of-arrays blocks and advances
+the whole fleet with a near-constant number of NumPy kernel calls per
+window step, while keeping every tenant's evolution bit-identical to
+running it alone through ``process_windows_fast`` (see DESIGN.md §13).
+"""
+
+from .engine import FleetEngine
+
+__all__ = ["FleetEngine"]

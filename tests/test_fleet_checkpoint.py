@@ -1,0 +1,129 @@
+"""Fleet checkpoint round-trips: pack -> state_dict -> restore -> unpack.
+
+A fleet checkpoint is only trustworthy if a restored engine continues
+exactly where the original left off — per tenant, bit for bit.  The
+tests drive an engine partway through heterogeneous traces, snapshot
+it (through a real JSON round-trip, like a file on disk), restore into
+a fresh engine, finish the run there, and demand the outcome equal a
+per-tenant fused run split at the same boundary.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import DetectionPipeline, PipelineConfig
+from repro.fleet import FleetEngine
+
+from .test_fleet_engine import regime_windows, snapshot_json
+
+FILTER_KINDS = ("k_of_n", "sprt", "cusum")
+SUPERVISOR_MODES = ("off", "warn", "repair")
+
+
+def heterogeneous_tenants(n_windows: int = 80):
+    tenants = []
+    for tid, (kind, mode) in enumerate(
+        (kind, mode) for kind in FILTER_KINDS for mode in SUPERVISOR_MODES
+    ):
+        config = PipelineConfig(filter_kind=kind, supervisor_mode=mode)
+        windows = regime_windows(
+            seed=200 + tid, n_windows=n_windows, n_sensors=4 + tid % 4
+        )
+        tenants.append((config, windows))
+    return tenants
+
+
+def json_roundtrip(payload):
+    return json.loads(json.dumps(payload))
+
+
+def test_state_dict_restore_unpack_bit_identical():
+    # Freshly packed fleet, no windows processed: the checkpoint must
+    # reproduce every tenant exactly.
+    tenants = heterogeneous_tenants()
+    pipelines = [DetectionPipeline(config) for config, _ in tenants]
+    engine = FleetEngine.from_pipelines(pipelines)
+    restored = FleetEngine.restore(json_roundtrip(engine.state_dict()))
+    assert restored.digests() == engine.digests()
+    for ours, theirs in zip(engine.to_pipelines(), restored.to_pipelines()):
+        assert snapshot_json(ours) == snapshot_json(theirs)
+
+
+def test_mid_trace_checkpoint_handoff():
+    # Advance half the fleet's traces, checkpoint, restore into a new
+    # engine, finish there.  Per tenant the outcome must equal a fused
+    # per-tenant run split at the same window boundary — including the
+    # supervised tenants, whose supervisor state rides the snapshot.
+    tenants = heterogeneous_tenants()
+    split = 40
+
+    solo = []
+    for config, windows in tenants:
+        pipeline = DetectionPipeline(config)
+        pipeline.process_windows_fast(windows[:split])
+        pipeline.process_windows_fast(windows[split:])
+        solo.append(pipeline)
+
+    first = FleetEngine.from_pipelines(
+        [DetectionPipeline(config) for config, _ in tenants]
+    )
+    first.process_windows([windows[:split] for _, windows in tenants])
+    payload = json_roundtrip(first.state_dict())
+
+    second = FleetEngine.restore(payload)
+    second.process_windows([windows[split:] for _, windows in tenants])
+
+    for reference, resumed in zip(solo, second.to_pipelines()):
+        assert reference.digest() == resumed.digest()
+        assert snapshot_json(reference) == snapshot_json(resumed)
+        # Checkpoints carry state, not result history: the resumed
+        # engine holds exactly the post-split window results.
+        tail = reference.results[split:]
+        assert len(tail) == len(resumed.results)
+        for ours, theirs in zip(tail, resumed.results):
+            assert ours == theirs
+
+
+def test_checkpoint_mid_steady_stretch():
+    # Checkpoint at a boundary chosen to land inside a long certified
+    # steady stretch (mid-dwell): the engine must flush its deferred
+    # run-length state into the snapshot, and the resumed engine must
+    # re-certify and continue bit-identically.
+    config = PipelineConfig()
+    windows = regime_windows(seed=300, n_windows=80, dwell=40)
+    split = 30  # inside the first dwell's certified stretch
+
+    reference = DetectionPipeline(config)
+    reference.process_windows_fast(windows[:split])
+    reference.process_windows_fast(windows[split:])
+
+    first = FleetEngine.from_pipelines([DetectionPipeline(config)])
+    first.process_windows([windows[:split]])
+    second = FleetEngine.restore(json_roundtrip(first.state_dict()))
+    second.process_windows([windows[split:]])
+
+    (resumed,) = second.to_pipelines()
+    assert reference.digest() == resumed.digest()
+    assert snapshot_json(reference) == snapshot_json(resumed)
+
+
+def test_restore_rejects_unknown_version():
+    with pytest.raises(ValueError):
+        FleetEngine.restore({"fleet_version": 999, "tenants": []})
+    with pytest.raises(ValueError):
+        FleetEngine.restore({"tenants": []})
+
+
+def test_state_dict_is_json_ready():
+    tenants = heterogeneous_tenants(n_windows=20)
+    engine = FleetEngine.from_pipelines(
+        [DetectionPipeline(config) for config, _ in tenants]
+    )
+    engine.process_windows([windows for _, windows in tenants])
+    payload = engine.state_dict()
+    assert payload["fleet_version"] == 1
+    assert len(payload["tenants"]) == len(tenants)
+    json.dumps(payload)  # must not need a custom encoder

@@ -1,0 +1,165 @@
+"""FleetEngine vs per-tenant fused runs: bit-identical or the test fails.
+
+One batched engine advancing N tenants must leave every tenant exactly
+where its own ``process_windows_fast`` call would have — same digest,
+same checkpoint snapshot, same ``WindowResult`` stream — across filter
+kinds, supervisor modes, sensor counts, attribute dimensionalities,
+and unequal trace lengths.  Every assertion is exact ``==``: the
+batched lanes are certified shortcuts, never approximations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import DetectionPipeline, PipelineConfig
+from repro.experiments import run_fleet
+from repro.fleet import FleetEngine
+from repro.sensornet.collector import windows_from_arrays
+
+FILTER_KINDS = ("k_of_n", "sprt", "cusum")
+SUPERVISOR_MODES = ("off", "warn", "repair")
+
+
+def snapshot_json(pipeline: DetectionPipeline) -> str:
+    return json.dumps(pipeline.snapshot(), sort_keys=True, default=str)
+
+
+def regime_windows(
+    seed: int,
+    n_windows: int = 80,
+    n_sensors: int = 6,
+    dims: int = 2,
+    dwell: int = 20,
+    noise: float = 0.3,
+):
+    """Two-regime telemetry: the fleet engine's target workload."""
+    if n_windows == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    base = 10.0 + 5.0 * np.arange(dims)
+    ts, sids, vals = [], [], []
+    for index in range(1, n_windows + 1):
+        hot = ((index - 1) // dwell) % 2
+        truth = base + (12.0 if hot else 0.0)
+        for sensor in range(n_sensors):
+            ts.append((index - 1) * 60.0 + 1.0)
+            sids.append(sensor)
+            vals.append(truth + rng.normal(0, noise, dims))
+    ts_arr = np.asarray(ts, dtype=float)
+    sid_arr = np.asarray(sids)
+    val_arr = np.asarray(vals, dtype=float)
+    order = np.lexsort((sid_arr, ts_arr))
+    return windows_from_arrays(
+        ts_arr[order],
+        sid_arr[order],
+        val_arr[order],
+        PipelineConfig().window_minutes,
+    )
+
+
+def assert_fleet_matches_solo(tenants) -> None:
+    """Run ``(config, windows)`` tenants batched and solo; demand equality."""
+    solo = []
+    for config, windows in tenants:
+        pipeline = DetectionPipeline(config)
+        pipeline.process_windows_fast(windows)
+        solo.append(pipeline)
+    fleet_pipes = [DetectionPipeline(config) for config, _ in tenants]
+    engine = FleetEngine.from_pipelines(fleet_pipes)
+    consumed = engine.process_windows([windows for _, windows in tenants])
+    assert consumed == sum(len(windows) for _, windows in tenants)
+    for reference, batched in zip(solo, engine.to_pipelines()):
+        assert reference.digest() == batched.digest()
+        assert snapshot_json(reference) == snapshot_json(batched)
+        assert len(reference.results) == len(batched.results)
+        for ours, theirs in zip(reference.results, batched.results):
+            assert ours == theirs
+
+
+@pytest.mark.parametrize("kind", FILTER_KINDS)
+def test_parity_per_filter_kind(kind):
+    tenants = [
+        (
+            PipelineConfig(filter_kind=kind),
+            regime_windows(seed=10 + tid, n_sensors=5 + tid),
+        )
+        for tid in range(4)
+    ]
+    assert_fleet_matches_solo(tenants)
+
+
+@pytest.mark.parametrize("mode", SUPERVISOR_MODES)
+def test_parity_per_supervisor_mode(mode):
+    # Supervised tenants take the solo lane inside the engine; mixing
+    # them with unsupervised ones exercises lane routing.
+    tenants = [
+        (
+            PipelineConfig(supervisor_mode=mode),
+            regime_windows(seed=20 + tid),
+        )
+        for tid in range(3)
+    ]
+    tenants.append((PipelineConfig(), regime_windows(seed=29)))
+    assert_fleet_matches_solo(tenants)
+
+
+def test_parity_heterogeneous_fleet():
+    # Every filter kind crossed with every supervisor mode, mixed
+    # sensor counts — one engine, nine different tenants.
+    tenants = []
+    for tid, (kind, mode) in enumerate(
+        (kind, mode) for kind in FILTER_KINDS for mode in SUPERVISOR_MODES
+    ):
+        config = PipelineConfig(filter_kind=kind, supervisor_mode=mode)
+        tenants.append(
+            (config, regime_windows(seed=40 + tid, n_sensors=4 + tid % 5))
+        )
+    assert_fleet_matches_solo(tenants)
+
+
+def test_parity_mixed_dimensionalities():
+    tenants = [
+        (PipelineConfig(), regime_windows(seed=60 + dims, dims=dims))
+        for dims in (1, 2, 3)
+    ]
+    assert_fleet_matches_solo(tenants)
+
+
+def test_parity_unequal_trace_lengths():
+    tenants = [
+        (PipelineConfig(), regime_windows(seed=70 + tid, n_windows=length))
+        for tid, length in enumerate((15, 47, 80, 0))
+    ]
+    assert_fleet_matches_solo(tenants)
+
+
+def test_empty_fleet():
+    engine = FleetEngine.from_pipelines([])
+    assert engine.process_windows([]) == 0
+    assert engine.to_pipelines() == []
+
+
+def test_window_list_count_mismatch_raises():
+    engine = FleetEngine.from_pipelines([DetectionPipeline(PipelineConfig())])
+    with pytest.raises(ValueError):
+        engine.process_windows([])
+
+
+def test_run_fleet_helper_matches_solo():
+    configs = [PipelineConfig(), PipelineConfig(filter_kind="sprt"), None]
+    loads = [regime_windows(seed=80 + tid, n_sensors=5) for tid in range(3)]
+    fleet = run_fleet(loads, configs)
+    for tid, pipeline in enumerate(fleet):
+        reference = DetectionPipeline(configs[tid] or PipelineConfig())
+        reference.process_windows_fast(loads[tid])
+        assert reference.digest() == pipeline.digest()
+        assert snapshot_json(reference) == snapshot_json(pipeline)
+
+
+def test_run_fleet_config_count_mismatch_raises():
+    with pytest.raises(ValueError):
+        run_fleet([regime_windows(seed=1)], [None, None])

@@ -11,12 +11,26 @@ from repro import perf
 
 def _payload(**overrides):
     base = {
-        "schema": 3,
+        "schema": 5,
         "pipeline_us_per_window": 200.0,
         "fused_pipeline_us_per_window": 50.0,
         "hmm_update_us": 3.0,
         "clusterer_update_us": 120.0,
         "filter_bank_us": 11.0,
+        "fleet_us_per_deployment_window": 12.0,
+        "fleet": {
+            "workload": {"n_windows": 400, "dwell": 40, "noise": 0.25},
+            "curve": [
+                {
+                    "n": 64,
+                    "fleet_us_per_deployment_window": 12.0,
+                    "baseline_us_per_deployment_window": 20.0,
+                    "speedup": 1.67,
+                    "digest_parity": True,
+                }
+            ],
+            "digest_parity": True,
+        },
         "filter_bank": {
             "n_sensors": 50,
             "n_windows": 2000,
