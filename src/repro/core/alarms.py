@@ -48,7 +48,9 @@ class AlarmGenerator:
         """
         new_alarms: List[RawAlarm] = []
         for sensor_id, state_id in identification.sensor_states.items():
-            fired = state_id != identification.correct_state
+            # Plain bool (state ids may be numpy ints): the history lists
+            # are snapshotted as-is, so they must stay JSON-serialisable.
+            fired = bool(state_id != identification.correct_state)
             self.history.setdefault(sensor_id, []).append(fired)
             if fired:
                 alarm = RawAlarm(
@@ -79,10 +81,15 @@ class AlarmGenerator:
     # -- checkpointing ----------------------------------------------------
 
     def state_dict(self) -> Dict[str, object]:
-        """JSON-ready snapshot of the alarm log and per-sensor history."""
+        """JSON-ready snapshot of the alarm log and per-sensor history.
+
+        The history lists hold plain bools by construction, so a shallow
+        ``list`` copy suffices — per-element conversion here used to
+        dominate whole-pipeline snapshot cost on long runs.
+        """
         return {
             "history": [
-                [sensor_id, [int(fired) for fired in series]]
+                [sensor_id, list(series)]
                 for sensor_id, series in sorted(self.history.items())
             ],
             "alarms": [

@@ -376,6 +376,18 @@ class DetectionPipeline:
             )
         return self._results
 
+    @property
+    def supervisor_violations(self) -> int:
+        """Number of invariant violations recorded by the supervisor.
+
+        0 when the pipeline runs unsupervised.  Cheap enough to poll
+        between fleet steps: the fault-isolating fleet runtime watches
+        this counter to demote a tenant whose repair-mode supervisor
+        fired, without failing the batched advance for the other
+        tenants.
+        """
+        return 0 if self.supervisor is None else len(self.supervisor.violations)
+
     def _vector_filter_bank(self) -> Optional[VectorFilterBank]:
         """The current filter state as a :class:`VectorFilterBank`.
 

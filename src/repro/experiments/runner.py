@@ -94,6 +94,11 @@ def run_pipeline(
 def run_fleet(
     windows_per_tenant: Sequence[Sequence[ObservationWindow]],
     configs: Optional[Sequence[Optional[PipelineConfig]]] = None,
+    *,
+    resilient: bool = False,
+    checkpoint_interval: int = 256,
+    probation: int = 16,
+    max_recoveries: int = 2,
 ) -> List[DetectionPipeline]:
     """Advance many independent deployments through one batched engine.
 
@@ -105,8 +110,15 @@ def run_fleet(
     through the :class:`~repro.fleet.FleetEngine` struct-of-arrays
     kernels so the amortized per-window cost stays near-constant as the
     fleet grows.
+
+    With ``resilient=True`` the fleet runs under the fault-isolating
+    :class:`~repro.fleet.ResilientFleetEngine` instead: a tenant that
+    raises or trips its supervisor is contained, quarantined, and given
+    bounded recovery while the remaining tenants advance bit-identical
+    to a clean run (DESIGN.md §14).  The isolation knobs mirror that
+    engine's constructor.
     """
-    from ..fleet import FleetEngine
+    from ..fleet import FleetEngine, ResilientFleetEngine
 
     if configs is None:
         configs = [None] * len(windows_per_tenant)
@@ -118,7 +130,15 @@ def run_fleet(
     pipelines = [
         DetectionPipeline(config or PipelineConfig()) for config in configs
     ]
-    engine = FleetEngine.from_pipelines(pipelines)
+    if resilient:
+        engine: FleetEngine = ResilientFleetEngine(
+            pipelines,
+            checkpoint_interval=checkpoint_interval,
+            probation=probation,
+            max_recoveries=max_recoveries,
+        )
+    else:
+        engine = FleetEngine.from_pipelines(pipelines)
     engine.process_windows(windows_per_tenant)
     return engine.to_pipelines()
 

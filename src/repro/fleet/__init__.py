@@ -5,8 +5,31 @@ instances ("tenants") into shared struct-of-arrays blocks and advances
 the whole fleet with a near-constant number of NumPy kernel calls per
 window step, while keeping every tenant's evolution bit-identical to
 running it alone through ``process_windows_fast`` (see DESIGN.md §13).
+
+:class:`ResilientFleetEngine` wraps that hot loop in a fault-isolation
+layer: per-tenant health states (healthy → degraded → quarantined),
+exception containment with bisection attribution, and bounded
+auto-recovery from per-tenant checkpoints (see DESIGN.md §14).
 """
 
 from .engine import FleetEngine
+from .isolation import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    FleetIsolationError,
+    ResilientFleetEngine,
+    TenantFailure,
+    TenantHealth,
+)
 
-__all__ = ["FleetEngine"]
+__all__ = [
+    "FleetEngine",
+    "ResilientFleetEngine",
+    "FleetIsolationError",
+    "TenantFailure",
+    "TenantHealth",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+]

@@ -288,6 +288,14 @@ class FleetEngine:
     def __init__(self, pipelines: Sequence[DetectionPipeline]):
         self.pipelines: List[DetectionPipeline] = list(pipelines)
         self._cohorts: Dict[int, _SteadyCohort] = {}
+        #: Active-run state for the stepwise API (``begin_run`` /
+        #: ``step_once`` / ``end_run``); None between runs.
+        self._run_tenants: Optional[List[_Tenant]] = None
+        self._run_groups: Optional[Dict[tuple, _FilterGroup]] = None
+        self._run_step = 0
+        self._run_steps = 0
+        self._run_consumed = 0
+        self._fp_state: Optional[dict] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -310,21 +318,29 @@ class FleetEngine:
         """Versioned JSON-ready checkpoint of every tenant."""
         from ..resilience.checkpoint import snapshot
 
-        return {
+        payload: Dict[str, object] = {
             "fleet_version": 1,
             "tenants": [snapshot(pipeline) for pipeline in self.pipelines],
         }
+        health = self._health_payload()
+        if health is not None:
+            payload["fleet_health"] = health
+        return payload
+
+    def _health_payload(self) -> Optional[Dict[str, object]]:
+        """Fleet health telemetry; None for the bare engine.  The
+        fault-isolating :class:`~repro.fleet.ResilientFleetEngine`
+        overrides this with per-tenant status and counters."""
+        return None
 
     @classmethod
     def restore(cls, payload: Dict[str, object]) -> "FleetEngine":
         """Rebuild a fleet from :meth:`state_dict` output."""
-        from ..resilience.checkpoint import restore
+        from ..resilience.checkpoint import CheckpointVersionError, restore
 
         version = payload.get("fleet_version")
         if version != 1:
-            raise ValueError(
-                f"unsupported fleet checkpoint version {version!r}"
-            )
+            raise CheckpointVersionError(version, 1)
         return cls([restore(entry) for entry in payload["tenants"]])
 
     # -- the fleet run --------------------------------------------------
@@ -339,22 +355,169 @@ class FleetEngine:
         into its pipeline, exactly as one ``process_windows_fast`` call
         per tenant would have left it.
         """
+        self.begin_run(windows_per_tenant)
+        try:
+            while self.step_once():
+                pass
+        finally:
+            consumed = self.end_run()
+        return consumed
+
+    def begin_run(self, windows_per_tenant: Sequence[Sequence]) -> int:
+        """Pack the fleet for a stepwise run; returns the step count.
+
+        The stepwise API (``begin_run`` / ``step_once`` / ``end_run``)
+        is :meth:`process_windows` taken apart, so a caller — the
+        fault-isolating runtime, a soak harness — can interleave its
+        own bookkeeping (supervisor polling, mid-run :meth:`evict`)
+        between window steps.  Exactly one run may be active at a time.
+        """
+        if self._run_tenants is not None:
+            raise RuntimeError("a fleet run is already active")
         if len(windows_per_tenant) != len(self.pipelines):
             raise ValueError(
                 f"got {len(windows_per_tenant)} window lists for "
                 f"{len(self.pipelines)} pipelines"
             )
-        tenants, groups = self._pack(windows_per_tenant)
-        n_steps = max((len(t.windows) for t in tenants), default=0)
+        # One fp-state save for the whole run, like the fused path:
+        # the trusted kernels legitimately saturate to inf.
+        self._fp_state = np.seterr(over="ignore")
         try:
-            # One fp-state save for the whole run, like the fused path:
-            # the trusted kernels legitimately saturate to inf.
-            with np.errstate(over="ignore"):
-                for step in range(n_steps):
-                    self._step(step, tenants, groups)
-        finally:
+            tenants, groups = self._pack(windows_per_tenant)
+        except BaseException:
+            np.seterr(**self._fp_state)
+            self._fp_state = None
+            raise
+        self._run_tenants = tenants
+        self._run_groups = groups
+        self._run_steps = max((len(t.windows) for t in tenants), default=0)
+        self._run_step = 0
+        self._run_consumed = 0
+        return self._run_steps
+
+    def step_once(self) -> bool:
+        """Advance the active run by one window step; False when done."""
+        if self._run_tenants is None:
+            raise RuntimeError("no active fleet run")
+        if self._run_step >= self._run_steps:
+            return False
+        self._step(self._run_step, self._run_tenants, self._run_groups)
+        self._run_step += 1
+        return True
+
+    def end_run(self) -> int:
+        """Fold every tenant back into its pipeline and close the run.
+
+        Returns the total number of windows consumed (including those
+        of tenants evicted mid-run).  Safe to call at any step — the
+        remaining windows are simply left unconsumed.
+        """
+        tenants, groups = self._run_tenants, self._run_groups
+        if tenants is None:
+            return 0
+        try:
             self._unpack(tenants, groups)
-        return sum(len(t.windows) for t in tenants)
+        finally:
+            consumed = self._run_consumed + sum(
+                min(self._run_step, len(t.windows)) for t in tenants
+            )
+            self._clear_run()
+        return consumed
+
+    def abort_run(self) -> None:
+        """Drop an active run *without* folding state back.
+
+        After an exception inside :meth:`step_once` the packed state
+        (and possibly some pipelines) is suspect; callers that will
+        restore every packed pipeline from checkpoints use this to
+        discard the run without risking a second failure in
+        :meth:`end_run`'s unpack.  No-op when no run is active.
+        """
+        if self._run_tenants is None:
+            return
+        self._clear_run()
+
+    def _clear_run(self) -> None:
+        self._run_tenants = None
+        self._run_groups = None
+        self._run_step = 0
+        self._run_steps = 0
+        self._run_consumed = 0
+        self._cohorts = {}
+        if self._fp_state is not None:
+            np.seterr(**self._fp_state)
+            self._fp_state = None
+
+    def evict(self, tid: int) -> DetectionPipeline:
+        """Unpack one tenant mid-run and remove it from the fleet.
+
+        Callable between steps of an active stepwise run: seals the
+        tenant's certified steady stretch — replaying any deferred
+        quiet-window commit runs — folds its filter state out of the
+        stacked group bank, and detaches it from its cohort and filter
+        group.  The remaining tenants continue bit-identically; the
+        returned pipeline is immediately usable standalone, exactly as
+        a ``process_windows_fast`` run over its consumed prefix would
+        have left it.
+        """
+        tenants = self._run_tenants
+        if tenants is None:
+            raise RuntimeError("no active fleet run")
+        for tenant in tenants:
+            if tenant.tid == tid:
+                break
+        else:
+            raise KeyError(f"no active tenant with tid {tid}")
+        self._unpack_one(tenant)
+        tenants.remove(tenant)
+        self._run_consumed += min(self._run_step, len(tenant.windows))
+        self.pipelines.remove(tenant.pipeline)
+        return tenant.pipeline
+
+    def _unpack_one(self, tenant: _Tenant) -> None:
+        """Fold a single tenant out of the packed run state."""
+        pipeline = tenant.pipeline
+        if tenant.steady is not None:
+            # Exiting the stretch flushes the deferred commit run and
+            # folds the pair bound back — the sealing step that makes
+            # the handoff exact mid-stretch.
+            self._exit_steady(tenant)
+        if tenant.mode == "solo":
+            tenant.scalar_bank.load_state_dict(tenant.bank.state_dict())
+            pipeline.filter_bank = tenant.scalar_bank
+        elif tenant.mode == "fleet":
+            group = tenant.group
+            gb = group.bank
+            per_tenant: Dict[int, List[tuple]] = {}
+            for gid, slot in gb._slot_of.items():
+                per_tenant.setdefault(gid >> _STRIDE_BITS, []).append(
+                    (gid & _SID_MASK, slot)
+                )
+            # Demux every member to its scalar bank (the evictee keeps
+            # that state; survivors restack from it bit-identically —
+            # the same scalar -> vector -> stacked round trip every
+            # run's pack performs).
+            for member in group.members:
+                entries = per_tenant.get(member.tid, [])
+                entries.sort()
+                member.scalar_bank.load_state_dict(
+                    {
+                        "filters": [
+                            [sid, gb._sensor_state(slot)]
+                            for sid, slot in entries
+                        ]
+                    }
+                )
+            group.members.remove(tenant)
+            for member in group.members:
+                member.bank = member.pipeline._vector_filter_bank()
+            self._load_group_bank(group)
+            group.sig = None
+            group.gids = None
+            group.raws = None
+            group.slices = []
+            group.refs = []
+            tenant.group = None
 
     # -- packing --------------------------------------------------------
 

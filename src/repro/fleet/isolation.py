@@ -1,0 +1,660 @@
+"""Fault-isolating fleet runtime: quarantine, degraded mode, recovery.
+
+The bare :class:`~repro.fleet.engine.FleetEngine` inverts the paper's
+availability story: it advances N deployments through shared
+struct-of-arrays kernels, so one tenant feeding malformed windows or
+raising from a shared kernel aborts the advance for all N.  This module
+wraps the engine in an epoch-based containment loop that degrades
+per-tenant instead of failing collectively (DESIGN.md §14):
+
+* **Health states.**  Every tenant is ``healthy`` (batched),
+  ``degraded`` (advanced solo on its exact path after its repair-mode
+  supervisor recorded a violation), or ``quarantined`` (faulted; under
+  bounded recovery or permanently parked).
+* **Epochs + checkpoints.**  Windows are consumed in epochs of
+  ``checkpoint_interval`` steps; each active tenant's last good state
+  is held as a snapshot checkpoint from the epoch boundary.  Chunking is
+  invisible: the fast path is bit-identical to the per-window oracle,
+  and the oracle carries no cross-call state, so an epoch-chunked run
+  equals one continuous ``process_windows_fast`` call per tenant.
+* **Containment + bisection attribution.**  Any exception raised while
+  a batched epoch advances aborts that engine run; the offending
+  tenant(s) are found by bisection replay from the epoch-boundary
+  checkpoints — batched probes over tenant subsets narrow the search,
+  and each suspect is confirmed alone on its per-tenant exact path
+  (``process_windows_fast``, window by window, which also pins the
+  faulting window index).  Culprits are quarantined; survivors are
+  rolled back to the epoch boundary and re-run batched, bit-identical
+  to a run that never contained the culprit.
+* **Degraded mode.**  A repair-mode supervisor violation marks the
+  tenant degraded, not the fleet: it is evicted from the live engine
+  mid-run (sealing any certified steady stretch) and continues solo.
+* **Bounded auto-recovery.**  A quarantined tenant restores from its
+  last good checkpoint and replays solo with per-window containment,
+  skipping windows that still fault; after ``probation`` consecutive
+  clean windows it is re-admitted to the batched path.  At most
+  ``max_recoveries`` quarantine/restore cycles are attempted before
+  the tenant is parked for good.
+
+Telemetry (per-tenant status, quarantine/restore/re-admit counters,
+isolation-overhead timings) rides :meth:`FleetEngine.state_dict` under
+``"fleet_health"`` and feeds the ``fleet_degradation`` bench block.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.pipeline import DetectionPipeline
+from .engine import FleetEngine
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+
+#: Per-tenant failure log cap: state_dict payloads stay bounded even if
+#: a tenant faults on every window of a long soak.
+_MAX_FAILURES = 64
+
+#: Failure detail strings are clipped to this many characters.
+_MAX_DETAIL = 200
+
+
+class FleetIsolationError(RuntimeError):
+    """A batched epoch failed but no tenant reproduces the failure.
+
+    Bisection and the exhaustive per-tenant sweep both came back clean,
+    so the fault lives in the shared engine itself (or is
+    non-deterministic) — quarantining an arbitrary tenant would hide an
+    engine bug, so the failure is surfaced loudly instead.
+    """
+
+
+@dataclass(frozen=True)
+class TenantFailure:
+    """One recorded tenant fault: what, where, and on which attempt."""
+
+    kind: str
+    window_index: Optional[int]
+    detail: str
+    attempt: int
+
+
+class TenantHealth:
+    """Health record for one tenant: status, counters, checkpoint."""
+
+    __slots__ = (
+        "tid",
+        "status",
+        "failures",
+        "failures_dropped",
+        "quarantines",
+        "restores",
+        "readmissions",
+        "degradations",
+        "recovery_attempts",
+        "clean_streak",
+        "skipped_windows",
+        "position",
+        "checkpoint",
+        "checkpoint_position",
+    )
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.status = HEALTHY
+        self.failures: List[TenantFailure] = []
+        self.failures_dropped = 0
+        self.quarantines = 0
+        self.restores = 0
+        self.readmissions = 0
+        self.degradations = 0
+        self.recovery_attempts = 0
+        self.clean_streak = 0
+        self.skipped_windows = 0
+        #: Current position (windows consumed) within the active
+        #: ``process_windows`` call.
+        self.position = 0
+        #: Last good state as a snapshot dict.  ``snapshot`` shares no
+        #: mutable state with the live pipeline, and restores go through
+        #: a JSON round-trip, so the stored dict stays pristine.
+        self.checkpoint: Optional[Dict[str, object]] = None
+        self.checkpoint_position = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tid": self.tid,
+            "status": self.status,
+            "quarantines": self.quarantines,
+            "restores": self.restores,
+            "readmissions": self.readmissions,
+            "degradations": self.degradations,
+            "recovery_attempts": self.recovery_attempts,
+            "clean_streak": self.clean_streak,
+            "skipped_windows": self.skipped_windows,
+            "failures": [asdict(failure) for failure in self.failures],
+            "failures_dropped": self.failures_dropped,
+        }
+
+
+class ResilientFleetEngine(FleetEngine):
+    """A :class:`FleetEngine` that degrades per tenant, not per fleet.
+
+    Drop-in for the bare engine: same constructor shape, same
+    ``process_windows`` / ``digests`` / ``to_pipelines`` /
+    ``state_dict`` surface.  Healthy tenants advance through the
+    batched kernels bit-identical to a bare-engine (and hence solo
+    ``process_windows_fast``) run; faulting tenants are contained,
+    attributed, quarantined, and given bounded recovery as described in
+    the module docstring.
+
+    Parameters
+    ----------
+    checkpoint_interval:
+        Epoch length in windows; also the per-tenant checkpoint cadence
+        and the containment blast radius (a failed epoch replays at
+        most this many windows per tenant).
+    probation:
+        Consecutive clean windows a degraded or recovering tenant must
+        produce before re-admission to the batched path.
+    max_recoveries:
+        Quarantine/restore cycles allowed per tenant before it is
+        parked permanently (state frozen at its last good checkpoint).
+    """
+
+    def __init__(
+        self,
+        pipelines: Sequence[DetectionPipeline],
+        *,
+        checkpoint_interval: int = 256,
+        probation: int = 16,
+        max_recoveries: int = 2,
+    ):
+        super().__init__(pipelines)
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if probation < 1:
+            raise ValueError("probation must be >= 1")
+        if max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        self.checkpoint_interval = checkpoint_interval
+        self.probation = probation
+        self.max_recoveries = max_recoveries
+        self.records = [TenantHealth(tid) for tid in range(len(self.pipelines))]
+        self.counters: Dict[str, int] = {
+            "epochs": 0,
+            "checkpoints": 0,
+            "rollbacks": 0,
+            "attribution_probes": 0,
+        }
+        self.overhead: Dict[str, float] = {
+            "checkpoint_seconds": 0.0,
+            "rollback_seconds": 0.0,
+            "attribution_seconds": 0.0,
+            "recovery_seconds": 0.0,
+        }
+
+    # -- telemetry ------------------------------------------------------
+
+    def health_report(self) -> Dict[str, object]:
+        """JSON-ready fleet health telemetry."""
+        statuses = [record.status for record in self.records]
+        return {
+            "statuses": statuses,
+            "counters": {
+                "healthy": statuses.count(HEALTHY),
+                "degraded": statuses.count(DEGRADED),
+                "quarantined": statuses.count(QUARANTINED),
+                "quarantines": sum(r.quarantines for r in self.records),
+                "restores": sum(r.restores for r in self.records),
+                "readmissions": sum(r.readmissions for r in self.records),
+                "degradations": sum(r.degradations for r in self.records),
+                "skipped_windows": sum(
+                    r.skipped_windows for r in self.records
+                ),
+                **self.counters,
+            },
+            "overhead_seconds": dict(self.overhead),
+            "tenants": [record.as_dict() for record in self.records],
+            "checkpoint_interval": self.checkpoint_interval,
+            "probation": self.probation,
+            "max_recoveries": self.max_recoveries,
+        }
+
+    def _health_payload(self) -> Optional[Dict[str, object]]:
+        return self.health_report()
+
+    # -- the isolated fleet run -----------------------------------------
+
+    def process_windows(self, windows_per_tenant: Sequence[Sequence]) -> int:
+        """Advance the fleet with per-tenant fault isolation.
+
+        Returns the total number of windows consumed (skipped faulty
+        windows count as consumed; windows of permanently parked
+        tenants do not).  Never propagates a tenant-attributable
+        failure — those are recorded in the health report instead.
+        """
+        if len(windows_per_tenant) != len(self.pipelines):
+            raise ValueError(
+                f"got {len(windows_per_tenant)} window lists for "
+                f"{len(self.pipelines)} pipelines"
+            )
+        windows = [list(entry) for entry in windows_per_tenant]
+        start = perf_counter()
+        for i, record in enumerate(self.records):
+            record.position = 0
+            if self._parked(record):
+                continue
+            record.checkpoint = self._dump(self.pipelines[i])
+            record.checkpoint_position = 0
+        self.overhead["checkpoint_seconds"] += perf_counter() - start
+        consumed = 0
+        while True:
+            active = [
+                i
+                for i in range(len(windows))
+                if not self._parked(self.records[i])
+                and self.records[i].position < len(windows[i])
+            ]
+            if not active:
+                break
+            consumed += self._run_epoch(windows, active)
+        return consumed
+
+    def _parked(self, record: TenantHealth) -> bool:
+        return (
+            record.status == QUARANTINED
+            and record.recovery_attempts > self.max_recoveries
+        )
+
+    def _run_epoch(self, windows, active: List[int]) -> int:
+        records = self.records
+        self.counters["epochs"] += 1
+        end = {
+            i: min(
+                records[i].position + self.checkpoint_interval,
+                len(windows[i]),
+            )
+            for i in active
+        }
+        batch = [i for i in active if records[i].status == HEALTHY]
+        solo = [i for i in active if records[i].status == DEGRADED]
+        recovering = [i for i in active if records[i].status == QUARANTINED]
+        consumed = 0
+
+        remaining = list(batch)
+        rounds = 0
+        while remaining:
+            rounds += 1
+            if rounds > len(batch) + 1:  # pragma: no cover - safety net
+                raise FleetIsolationError("isolation rounds exhausted")
+            done, demoted, error = self._advance_batched(
+                windows, remaining, end
+            )
+            consumed += done
+            solo.extend(demoted)
+            if error is None:
+                break
+            demoted_set = set(demoted)
+            packed = [i for i in remaining if i not in demoted_set]
+            culprits = self._attribute(windows, packed, end)
+            if not culprits:
+                self._rollback(packed)
+                raise FleetIsolationError(
+                    "batched epoch failed but no tenant reproduces the "
+                    f"failure solo: {error!r}"
+                ) from error
+            culprit_tids = {tid for tid, _, _ in culprits}
+            self._rollback([i for i in packed if i not in culprit_tids])
+            for tid, exc, window_index in culprits:
+                self._quarantine(tid, exc, window_index)
+                if not self._parked(records[tid]):
+                    recovering.append(tid)
+            remaining = [i for i in packed if i not in culprit_tids]
+
+        for tid in solo:
+            consumed += self._advance_degraded(windows, tid, end)
+        for tid in recovering:
+            consumed += self._advance_recovery(windows, tid, end)
+        self._refresh_checkpoints(windows, active)
+        return consumed
+
+    # -- batched lane ----------------------------------------------------
+
+    def _advance_batched(
+        self, windows, tids: List[int], end: Dict[int, int]
+    ) -> Tuple[int, List[int], Optional[BaseException]]:
+        """One batched attempt over ``tids``.
+
+        Returns ``(consumed, demoted_tids, error)``.  On error the
+        inner engine was aborted and the still-packed tenants are left
+        in a suspect state for the caller to roll back; tenants demoted
+        (evicted) before the failure keep their partial progress.
+        """
+        records = self.records
+        slices = [windows[i][records[i].position : end[i]] for i in tids]
+        engine = FleetEngine([self.pipelines[i] for i in tids])
+        # Repair-mode supervisors are polled between steps: a repaired
+        # violation marks the tenant degraded — evicted mid-run, never
+        # failing the fleet.
+        watch = {
+            k: self.pipelines[tid].supervisor_violations
+            for k, tid in enumerate(tids)
+            if self.pipelines[tid].supervisor is not None
+            and self.pipelines[tid].supervisor.mode == "repair"
+        }
+        demoted: List[int] = []
+        consumed = 0
+        try:
+            engine.begin_run(slices)
+            while engine.step_once():
+                if not watch:
+                    continue
+                for k in list(watch):
+                    tid = tids[k]
+                    if self.pipelines[tid].supervisor_violations > watch[k]:
+                        engine.evict(k)
+                        del watch[k]
+                        demoted.append(tid)
+                        consumed += self._demote(
+                            tid, min(engine._run_step, len(slices[k]))
+                        )
+            engine.end_run()
+        except Exception as exc:
+            engine.abort_run()
+            return consumed, demoted, exc
+        demoted_set = set(demoted)
+        for k, tid in enumerate(tids):
+            if tid in demoted_set:
+                continue
+            records[tid].position = end[tid]
+            consumed += len(slices[k])
+        return consumed, demoted, None
+
+    def _demote(self, tid: int, n_consumed: int) -> int:
+        record = self.records[tid]
+        record.status = DEGRADED
+        record.degradations += 1
+        record.clean_streak = 0
+        record.position += n_consumed
+        violations = self.pipelines[tid].supervisor.violations
+        if violations:
+            latest = violations[-1]
+            self._record_failure(
+                record,
+                kind=f"invariant:{latest.invariant}",
+                window_index=latest.window_index,
+                detail=latest.detail,
+            )
+        else:  # pragma: no cover - defensive
+            self._record_failure(record, "invariant", None, "")
+        return n_consumed
+
+    # -- attribution -----------------------------------------------------
+
+    def _attribute(
+        self, windows, tids: List[int], end: Dict[int, int]
+    ) -> List[Tuple[int, BaseException, Optional[int]]]:
+        """Bisection replay: which of ``tids`` reproduce the failure?
+
+        Batched probes over subsets (throwaway pipelines restored from
+        the epoch checkpoints) narrow the search; every suspect is then
+        confirmed alone on its per-tenant exact path, which also
+        identifies the faulting window.  Falls back to an exhaustive
+        per-tenant sweep if the bisection probes all pass.
+        """
+        start = perf_counter()
+        results: List[Tuple[int, BaseException, Optional[int]]] = []
+        try:
+            if len(tids) == 1:
+                hit = self._solo_probe(windows, tids[0], end)
+                if hit is not None:
+                    results.append(hit)
+            elif tids:
+                self._bisect(windows, list(tids), end, results)
+            if not results and len(tids) > 1:
+                for tid in tids:
+                    hit = self._solo_probe(windows, tid, end)
+                    if hit is not None:
+                        results.append(hit)
+        finally:
+            self.overhead["attribution_seconds"] += perf_counter() - start
+        return results
+
+    def _bisect(self, windows, tids, end, out) -> None:
+        mid = len(tids) // 2
+        for half in (tids[:mid], tids[mid:]):
+            if not half:
+                continue
+            if len(half) == 1:
+                hit = self._solo_probe(windows, half[0], end)
+                if hit is not None:
+                    out.append(hit)
+            elif self._batch_probe(windows, half, end) is not None:
+                self._bisect(windows, half, end, out)
+
+    def _solo_probe(
+        self, windows, tid: int, end: Dict[int, int]
+    ) -> Optional[Tuple[int, BaseException, Optional[int]]]:
+        """Replay one tenant's epoch slice alone, window by window.
+
+        Runs a throwaway pipeline restored from the tenant's checkpoint
+        through its exact fused path.  Returns ``(tid, exception,
+        window_index)`` for the first faulting window, or None if the
+        slice replays cleanly.
+        """
+        self.counters["attribution_probes"] += 1
+        record = self.records[tid]
+        pipeline = self._restore_blob(record.checkpoint)
+        span = windows[tid][record.checkpoint_position : end[tid]]
+        for window in span:
+            try:
+                pipeline.process_windows_fast([window])
+            except Exception as exc:
+                return (tid, exc, getattr(window, "index", None))
+        return None
+
+    def _batch_probe(
+        self, windows, tids: List[int], end: Dict[int, int]
+    ) -> Optional[BaseException]:
+        """Replay a tenant subset batched on throwaway pipelines."""
+        self.counters["attribution_probes"] += 1
+        records = self.records
+        pipelines = [self._restore_blob(records[i].checkpoint) for i in tids]
+        engine = FleetEngine(pipelines)
+        try:
+            engine.process_windows(
+                [
+                    windows[i][records[i].checkpoint_position : end[i]]
+                    for i in tids
+                ]
+            )
+        except Exception as exc:
+            return exc
+        return None
+
+    # -- quarantine + recovery ------------------------------------------
+
+    def _quarantine(
+        self, tid: int, exc: BaseException, window_index: Optional[int]
+    ) -> None:
+        record = self.records[tid]
+        record.status = QUARANTINED
+        record.quarantines += 1
+        record.recovery_attempts += 1
+        record.clean_streak = 0
+        self._record_failure(
+            record,
+            kind=type(exc).__name__,
+            window_index=window_index,
+            detail=str(exc),
+        )
+        # Whether or not recovery attempts remain, the failed advance
+        # may have half-mutated the pipeline: park it on its last good
+        # state either way.
+        start = perf_counter()
+        self.pipelines[tid] = self._restore_blob(record.checkpoint)
+        record.position = record.checkpoint_position
+        record.restores += 1
+        self.overhead["rollback_seconds"] += perf_counter() - start
+
+    def _advance_degraded(
+        self, windows, tid: int, end: Dict[int, int]
+    ) -> int:
+        """Advance a degraded tenant solo on its exact path."""
+        record = self.records[tid]
+        pipeline = self.pipelines[tid]
+        span = windows[tid][record.position : end[tid]]
+        if not span:
+            return 0
+        baseline = pipeline.supervisor_violations
+        try:
+            pipeline.process_windows_fast(span)
+        except Exception as exc:
+            hit = self._solo_probe(windows, tid, end)
+            if hit is not None:
+                _, exc, window_index = hit
+            else:  # pragma: no cover - non-deterministic fault
+                window_index = None
+            self._quarantine(tid, exc, window_index)
+            return 0
+        record.position = end[tid]
+        if pipeline.supervisor_violations > baseline:
+            record.clean_streak = 0
+            latest = pipeline.supervisor.violations[-1]
+            self._record_failure(
+                record,
+                kind=f"invariant:{latest.invariant}",
+                window_index=latest.window_index,
+                detail=latest.detail,
+            )
+        else:
+            record.clean_streak += len(span)
+            if record.clean_streak >= self.probation:
+                record.status = HEALTHY
+                record.readmissions += 1
+                record.clean_streak = 0
+        return len(span)
+
+    def _advance_recovery(
+        self, windows, tid: int, end: Dict[int, int]
+    ) -> int:
+        """Replay a quarantined tenant solo with per-window containment.
+
+        Every window is advanced under a pre-window snapshot; a window
+        that still faults is rolled back and skipped (recorded, streak
+        reset).  The tenant replays its whole epoch slice — re-admission
+        to the batched path is decided only at the slice end, once
+        ``probation`` consecutive clean windows have accumulated.
+        Deciding mid-slice would be a livelock: a tenant whose fault
+        lies deeper into the slice than ``probation`` would be
+        re-admitted before ever reaching (and skipping) it, then
+        re-quarantined, burning its bounded attempts with no progress.
+        """
+        record = self.records[tid]
+        start = perf_counter()
+        position = record.position
+        consumed = 0
+        try:
+            while position < end[tid]:
+                window = windows[tid][position]
+                pipeline = self.pipelines[tid]
+                pre = self._dump(pipeline)
+                baseline = pipeline.supervisor_violations
+                try:
+                    pipeline.process_windows_fast([window])
+                    clean = pipeline.supervisor_violations == baseline
+                except Exception as exc:
+                    self.pipelines[tid] = self._restore_blob(pre)
+                    record.skipped_windows += 1
+                    record.clean_streak = 0
+                    self._record_failure(
+                        record,
+                        kind=type(exc).__name__,
+                        window_index=getattr(window, "index", None),
+                        detail=str(exc),
+                    )
+                    position += 1
+                    consumed += 1
+                    continue
+                position += 1
+                consumed += 1
+                if clean:
+                    record.clean_streak += 1
+                else:
+                    record.clean_streak = 0
+        finally:
+            record.position = position
+            self.overhead["recovery_seconds"] += perf_counter() - start
+        if record.clean_streak >= self.probation:
+            record.status = HEALTHY
+            record.readmissions += 1
+            record.clean_streak = 0
+        return consumed
+
+    # -- checkpoint plumbing --------------------------------------------
+
+    def _refresh_checkpoints(self, windows, active: List[int]) -> None:
+        start = perf_counter()
+        for i in active:
+            record = self.records[i]
+            if self._parked(record):
+                continue
+            if record.position >= len(windows[i]):
+                # Finished tenants take no trailing checkpoint; the
+                # next process_windows call re-snapshots everyone.
+                continue
+            if record.position > record.checkpoint_position:
+                record.checkpoint = self._dump(self.pipelines[i])
+                record.checkpoint_position = record.position
+        self.overhead["checkpoint_seconds"] += perf_counter() - start
+
+    def _rollback(self, tids: List[int]) -> None:
+        if not tids:
+            return
+        start = perf_counter()
+        for i in tids:
+            record = self.records[i]
+            self.pipelines[i] = self._restore_blob(record.checkpoint)
+            record.position = record.checkpoint_position
+        self.counters["rollbacks"] += len(tids)
+        self.overhead["rollback_seconds"] += perf_counter() - start
+
+    def _dump(self, pipeline: DetectionPipeline) -> Dict[str, object]:
+        from ..resilience.checkpoint import snapshot
+
+        self.counters["checkpoints"] += 1
+        # Stored as a plain dict: ``snapshot`` shares no mutable state
+        # with the live pipeline (pinned by the checkpoint alias tests),
+        # so serialisation can be deferred to the rare restore path.
+        return snapshot(pipeline)
+
+    @staticmethod
+    def _restore_blob(blob: Dict[str, object]) -> DetectionPipeline:
+        from ..resilience.checkpoint import restore
+
+        # JSON round-trip = defensive deep copy: a restored pipeline must
+        # never alias the stored checkpoint it may be rolled back to again.
+        return restore(json.loads(json.dumps(blob)))
+
+    def _record_failure(
+        self,
+        record: TenantHealth,
+        kind: str,
+        window_index: Optional[int],
+        detail: str,
+    ) -> None:
+        if len(record.failures) >= _MAX_FAILURES:
+            record.failures_dropped += 1
+            return
+        record.failures.append(
+            TenantFailure(
+                kind=kind,
+                window_index=window_index,
+                detail=detail[:_MAX_DETAIL],
+                attempt=record.recovery_attempts,
+            )
+        )

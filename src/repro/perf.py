@@ -16,6 +16,7 @@ the standard way to suppress scheduler noise on shared CI runners.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -30,6 +31,7 @@ CHECKED_METRICS = (
     "pipeline_us_per_window",
     "fused_pipeline_us_per_window",
     "fleet_us_per_deployment_window",
+    "fleet_isolated_us_per_deployment_window",
     "hmm_update_us",
     "clusterer_update_us",
     "filter_bank_us",
@@ -48,6 +50,10 @@ PRE_OPTIMIZATION_BASELINE = {
     # fleet regime workload before the batched engine (and the steady
     # pair-bound inf fix) landed.
     "fleet_us_per_deployment_window": 20.6,
+    # Before the isolation layer, a fault-isolated fleet *was* N
+    # independent fused runs (full per-tenant blast separation but no
+    # batching), so the same 20.6 us/deployment-window applies.
+    "fleet_isolated_us_per_deployment_window": 20.6,
     "hmm_update_us": 5.67,
     "clusterer_update_us": 483.3,
     "filter_bank_us": 20.8,
@@ -573,6 +579,129 @@ def bench_cache(n_days: int = 3, seed: int = 2003) -> Dict[str, object]:
     }
 
 
+def bench_fleet_degradation(
+    n_tenants: int = 12,
+    n_windows: int = 400,
+    checkpoint_interval: int = 200,
+    repeats: int = 10,
+) -> Dict[str, object]:
+    """Fault-isolation overhead of the resilient fleet runtime (schema 6).
+
+    Two measurements:
+
+    * **No-fault overhead.**  The same regime traces run through a bare
+      ``FleetEngine`` and a ``ResilientFleetEngine`` (epoch checkpoints,
+      health tracking, containment machinery armed but never firing).
+      Runs alternate raw/isolated so both sample the same scheduler
+      noise; per-tenant digests must match bit-for-bit — the overhead
+      number is only meaningful if the isolated run is exact.  The
+      checkpoint cadence is aligned to the workload's regime dwell
+      (200 = 5 x 40-window dwells), the way an operator would pick it:
+      an epoch boundary that coincides with a regime change tears down
+      no certified steady stretch, so chunking costs almost nothing
+      and the overhead is dominated by the per-epoch snapshots.
+    * **Faulted containment.**  A seeded K-of-N poisoning run (via the
+      chaos harness) reports what isolation buys: poisoned tenants
+      quarantined and re-admitted while survivors stay bit-identical to
+      clean solo runs.  Survivor divergence is a correctness bug, not a
+      perf number.
+    """
+    from . import DetectionPipeline, PipelineConfig
+    from .fleet import FleetEngine, ResilientFleetEngine
+    from .resilience.fleet_chaos import run_fleet_chaos
+
+    traces = [
+        _fleet_workload(1000 + tid, n_windows=n_windows)
+        for tid in range(n_tenants)
+    ]
+    total = n_tenants * n_windows
+
+    def build():
+        return [DetectionPipeline(PipelineConfig()) for _ in range(n_tenants)]
+
+    # Collect before and disable GC during each timed run: the engines
+    # discarded by earlier iterations otherwise trigger collections
+    # inside the timing window, and that churn (not the isolation
+    # layer) dominated the raw/isolated delta.
+    def timed(engine):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            engine.process_windows(traces)
+            return time.perf_counter() - start
+        finally:
+            gc.enable()
+
+    # The overhead estimate is the median of per-iteration isolated/raw
+    # ratios: each pair runs back-to-back, so slow machine states (CPU
+    # steal on shared runners) cancel within a pair instead of skewing
+    # two independent best-of minima sampled at different times.
+    raw_best = float("inf")
+    ratios = []
+    raw_engine = iso_engine = None
+    for _ in range(repeats):
+        raw_engine = FleetEngine(build())
+        raw_seconds = timed(raw_engine)
+        raw_best = min(raw_best, raw_seconds)
+
+        iso_engine = ResilientFleetEngine(
+            build(), checkpoint_interval=checkpoint_interval
+        )
+        ratios.append(timed(iso_engine) / raw_seconds)
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+
+    if raw_engine.digests() != iso_engine.digests():
+        # pragma: no cover - isolation correctness violation
+        raise AssertionError(
+            "resilient fleet diverged from bare engine on a no-fault run"
+        )
+
+    chaos = run_fleet_chaos(
+        n_tenants=8,
+        n_poisoned=2,
+        kinds=("exploding", "malformed", "exception"),
+        seed=3,
+        n_windows=240,
+        checkpoint_interval=64,
+        probation=12,
+    )
+    if not chaos.survivors_ok:
+        # pragma: no cover - isolation correctness violation
+        raise AssertionError(
+            "fleet-chaos survivors diverged from clean solo runs"
+        )
+    counters = chaos.health["counters"]
+    raw_us = raw_best / total * 1e6
+    # Derived from the paired-ratio estimate so the reported pair stays
+    # self-consistent with overhead_pct.
+    iso_us = raw_us * median_ratio
+    overhead = iso_engine.overhead
+    return {
+        "n_tenants": n_tenants,
+        "n_windows": n_windows,
+        "checkpoint_interval": checkpoint_interval,
+        "raw_us_per_deployment_window": round(raw_us, 2),
+        "isolated_us_per_deployment_window": round(iso_us, 2),
+        "overhead_pct": round((median_ratio - 1.0) * 100, 1),
+        "digest_parity": True,
+        "isolation_overhead_seconds": {
+            key: round(value, 4) for key, value in overhead.items()
+        },
+        "faulted": {
+            "n_tenants": chaos.n_tenants,
+            "n_poisoned": len(chaos.victims),
+            "kinds": list(chaos.kinds),
+            "quarantined": counters["quarantines"],
+            "readmitted": counters["readmissions"],
+            "rollbacks": counters["rollbacks"],
+            "survivors_bit_identical": chaos.survivors_ok,
+            "all_faults_handled": chaos.ok,
+        },
+    }
+
+
 def run_bench(
     n_jobs: Optional[int] = None, repeats: int = 3
 ) -> Dict[str, object]:
@@ -580,8 +709,9 @@ def run_bench(
     trace_generation = bench_trace_generation(repeats=repeats)
     filter_bank = bench_filter_bank(repeats=max(repeats, 5))
     fleet = bench_fleet(repeats=max(repeats - 1, 2))
+    fleet_degradation = bench_fleet_degradation()
     return {
-        "schema": 5,
+        "schema": 6,
         "pipeline_us_per_window": round(bench_pipeline(repeats=repeats), 1),
         "fused_pipeline_us_per_window": round(
             bench_fused_pipeline(repeats=max(repeats, 5)), 1
@@ -590,6 +720,10 @@ def run_bench(
             "fleet_us_per_deployment_window"
         ],
         "fleet": fleet,
+        "fleet_isolated_us_per_deployment_window": fleet_degradation[
+            "isolated_us_per_deployment_window"
+        ],
+        "fleet_degradation": fleet_degradation,
         "hmm_update_us": round(bench_hmm_update(repeats=max(repeats, 5)), 2),
         "clusterer_update_us": round(bench_clusterer_update(repeats=repeats), 1),
         "filter_bank_us": filter_bank["vector_us_per_window"],
@@ -673,6 +807,24 @@ def render(result: Dict[str, object]) -> str:
             for point in fleet["curve"]
         )
         lines.append(f"  fleet amortized cost vs independent runs: {points}")
+    degradation = result.get("fleet_degradation")
+    if degradation:
+        faulted = degradation["faulted"]
+        survivors = (
+            "bit-identical"
+            if faulted["survivors_bit_identical"]
+            else "MISMATCH"
+        )
+        lines.append(
+            f"  fleet isolation (N={degradation['n_tenants']}, interval "
+            f"{degradation['checkpoint_interval']}): raw "
+            f"{degradation['raw_us_per_deployment_window']} us/dw, isolated "
+            f"{degradation['isolated_us_per_deployment_window']} us/dw "
+            f"-> +{degradation['overhead_pct']}% no-fault overhead; faulted "
+            f"{faulted['n_poisoned']}/{faulted['n_tenants']}: "
+            f"{faulted['quarantined']} quarantined, "
+            f"{faulted['readmitted']} readmitted, survivors {survivors}"
+        )
     campaign_speedup = (
         f"{campaign['speedup']}x"
         if campaign.get("speedup") is not None

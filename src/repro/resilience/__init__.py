@@ -31,7 +31,17 @@ PR 4 added the *algorithmic* robustness leg:
   paper's majority assumption, raising a :class:`ModelUnderAttack`
   meta-alarm and freezing β/γ learning while it is violated.
 * :mod:`repro.resilience.fuzz` — the seeded adversarial fuzz/soak
-  harness behind ``repro fuzz``.
+  harness behind ``repro fuzz`` (including the ``--fleet`` mode that
+  drives a poisoned multi-tenant engine).
+
+The fleet-isolation leg (DESIGN.md §14) adds:
+
+* :mod:`repro.resilience.fleet_chaos` — seeded per-tenant poison
+  injectors (NaN/Inf bursts, exploding values, malformed window shapes,
+  forced kernel exceptions) behind ``repro chaos --fleet`` and the
+  ``repro fleet-soak`` sweep, asserting that non-poisoned tenants stay
+  bit-identical to clean solo runs while poisoned ones are quarantined
+  and re-admitted.
 """
 
 from .checkpoint import (
@@ -50,7 +60,20 @@ from .chaos import (
     WorkerChaos,
     WorkerChaosError,
 )
-from .fuzz import FuzzReport, pathological_window, run_fuzz
+from .fleet_chaos import (
+    POISON_KINDS,
+    FleetChaosReport,
+    FleetPoison,
+    InjectedKernelFault,
+    run_fleet_chaos,
+)
+from .fuzz import (
+    FleetFuzzReport,
+    FuzzReport,
+    pathological_window,
+    run_fleet_fuzz,
+    run_fuzz,
+)
 from .invariants import (
     DEFAULT_INVARIANTS,
     Invariant,
@@ -69,11 +92,16 @@ __all__ = [
     "ChaosSpec",
     "CheckpointVersionError",
     "DEFAULT_INVARIANTS",
+    "FleetChaosReport",
+    "FleetFuzzReport",
+    "FleetPoison",
     "FuzzReport",
+    "InjectedKernelFault",
     "Invariant",
     "InvariantViolationError",
     "InvariantWarning",
     "ModelUnderAttack",
+    "POISON_KINDS",
     "PipelineSupervisor",
     "SimulatedWorkerCrash",
     "Violation",
@@ -84,6 +112,8 @@ __all__ = [
     "load_checkpoint",
     "pathological_window",
     "restore",
+    "run_fleet_chaos",
+    "run_fleet_fuzz",
     "run_fuzz",
     "save_checkpoint",
     "snapshot",

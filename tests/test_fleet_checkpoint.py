@@ -111,10 +111,17 @@ def test_checkpoint_mid_steady_stretch():
 
 
 def test_restore_rejects_unknown_version():
-    with pytest.raises(ValueError):
+    from repro.resilience import CheckpointVersionError
+
+    with pytest.raises(CheckpointVersionError) as excinfo:
         FleetEngine.restore({"fleet_version": 999, "tenants": []})
-    with pytest.raises(ValueError):
+    assert excinfo.value.found == 999
+    assert excinfo.value.expected == 1
+    assert "999" in str(excinfo.value)
+    with pytest.raises(CheckpointVersionError) as excinfo:
         FleetEngine.restore({"tenants": []})
+    assert excinfo.value.found is None
+    assert excinfo.value.expected == 1
 
 
 def test_state_dict_is_json_ready():

@@ -11,13 +11,39 @@ from repro import perf
 
 def _payload(**overrides):
     base = {
-        "schema": 5,
+        "schema": 6,
         "pipeline_us_per_window": 200.0,
         "fused_pipeline_us_per_window": 50.0,
         "hmm_update_us": 3.0,
         "clusterer_update_us": 120.0,
         "filter_bank_us": 11.0,
         "fleet_us_per_deployment_window": 12.0,
+        "fleet_isolated_us_per_deployment_window": 12.5,
+        "fleet_degradation": {
+            "n_tenants": 12,
+            "n_windows": 400,
+            "checkpoint_interval": 200,
+            "raw_us_per_deployment_window": 12.0,
+            "isolated_us_per_deployment_window": 12.5,
+            "overhead_pct": 4.2,
+            "digest_parity": True,
+            "isolation_overhead_seconds": {
+                "checkpoint_seconds": 0.002,
+                "rollback_seconds": 0.0,
+                "attribution_seconds": 0.0,
+                "recovery_seconds": 0.0,
+            },
+            "faulted": {
+                "n_tenants": 8,
+                "n_poisoned": 2,
+                "kinds": ["exploding", "malformed", "exception"],
+                "quarantined": 2,
+                "readmitted": 2,
+                "rollbacks": 14,
+                "survivors_bit_identical": True,
+                "all_faults_handled": True,
+            },
+        },
         "fleet": {
             "workload": {"n_windows": 400, "dwell": 40, "noise": 0.25},
             "curve": [
@@ -130,6 +156,26 @@ def test_compare_tolerates_schema2_payload():
     del old["filter_bank_us"]
     del old["filter_bank"]
     assert perf.compare(_payload(), old, tolerance=0.3) == []
+
+
+def test_compare_tolerates_schema5_payload():
+    # Baselines written before the fleet-isolation metric existed must
+    # still check cleanly.
+    old = _payload()
+    old["schema"] = 5
+    del old["fleet_isolated_us_per_deployment_window"]
+    del old["fleet_degradation"]
+    assert perf.compare(_payload(), old, tolerance=0.3) == []
+    # And rendering a payload without the block must not crash.
+    assert "fleet isolation" not in perf.render(old)
+
+
+def test_render_mentions_fleet_isolation_block():
+    text = perf.render(_payload())
+    assert "fleet isolation" in text
+    assert "+4.2% no-fault overhead" in text
+    assert "2 quarantined" in text
+    assert "survivors bit-identical" in text
 
 
 def test_bench_hmm_update_returns_microseconds():
