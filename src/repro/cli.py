@@ -415,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=18,
         help="fleet size for --fleet (default 18)",
     )
+    parity.add_argument(
+        "--backend",
+        choices=("numpy", "compiled"),
+        default="numpy",
+        help="kernel backend to verify (compiled falls back to the "
+        "numpy flavor, with a warning, when numba is unavailable)",
+    )
 
     fleet_bench = sub.add_parser(
         "fleet-bench",
@@ -742,9 +749,11 @@ def _cmd_parity(args: argparse.Namespace) -> "tuple[str, int]":
 
     if args.fleet:
         return perf.fleet_parity_command(
-            n_tenants=args.tenants, n_days=args.days
+            n_tenants=args.tenants, n_days=args.days, backend=args.backend
         )
-    return perf.parity_command(n_days=args.days, seed=args.seed)
+    return perf.parity_command(
+        n_days=args.days, seed=args.seed, backend=args.backend
+    )
 
 
 def _cmd_fleet_bench(args: argparse.Namespace) -> "tuple[str, int]":

@@ -23,6 +23,10 @@ FILTER_KINDS = ("k_of_n", "sprt", "cusum")
 #: Supported runtime invariant-supervisor modes.
 SUPERVISOR_MODES = ("off", "warn", "repair", "raise")
 
+#: Supported kernel backends (mirrors repro.backend.BACKEND_NAMES;
+#: kept literal here so importing the config never pulls kernel code).
+BACKEND_NAMES = ("numpy", "compiled")
+
 
 @dataclass
 class PipelineConfig:
@@ -117,6 +121,11 @@ class PipelineConfig:
     #: available cores".  Only the fan-out harness reads this — a single
     #: pipeline run is always one process.
     n_jobs: int = 1
+    #: Kernel backend: "numpy" (reference) or "compiled" (Numba njit
+    #: ports of the hot kernels; falls back to NumPy with one warning
+    #: when Numba is absent).  Results are bit-identical either way —
+    #: the backend never changes digests (see repro.backend).
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.n_sensors <= 0:
@@ -145,6 +154,12 @@ class PipelineConfig:
             raise ValueError("supervisor_recovery_windows must be positive")
         if self.n_jobs < 0:
             raise ValueError("n_jobs must be non-negative (0 = all cores)")
+        if self.backend not in BACKEND_NAMES:
+            # Imported lazily: repro.backend stays import-light, and the
+            # structured error carries the offending/available names.
+            from .backend import UnknownBackendError
+
+            raise UnknownBackendError(self.backend)
 
     @property
     def window_minutes(self) -> float:

@@ -343,9 +343,23 @@ class VectorFilterBank:
     §11).
     """
 
-    def __init__(self, kind: str, params: Dict[str, object]):
+    def __init__(
+        self,
+        kind: str,
+        params: Dict[str, object],
+        kernels: "Optional[object]" = None,
+    ):
         if kind not in _FILTER_CLASSES:
             raise ValueError(f"unknown alarm filter kind: {kind!r}")
+        if kernels is None:
+            from ..backend import get_backend
+
+            kernels = get_backend("numpy")
+        #: Update-kernel implementations (repro.backend.KernelBackend).
+        #: Only the whole-bank lockstep/slice paths route through them;
+        #: the desynced k-of-n gather/scatter stays NumPy-only (rare
+        #: after partial updates, not worth a compiled twin).
+        self._kernels = kernels
         self.kind = kind
         self._slot_of: Dict[int, int] = {}
         self._capacity = 0
@@ -396,7 +410,11 @@ class VectorFilterBank:
             self._g = np.zeros(0, dtype=float)
 
     @classmethod
-    def from_prototype(cls, prototype: AlarmFilter) -> "VectorFilterBank":
+    def from_prototype(
+        cls,
+        prototype: AlarmFilter,
+        kernels: "Optional[object]" = None,
+    ) -> "VectorFilterBank":
         """Build an empty bank matching one scalar filter's kind/params.
 
         ``prototype`` must be a pristine instance of one of the three
@@ -405,7 +423,9 @@ class VectorFilterBank:
         bank gives newly seen sensors) — otherwise ``ValueError``.
         """
         if type(prototype) is KOfNFilter:
-            bank = cls("k_of_n", {"k": prototype.k, "n": prototype.n})
+            bank = cls(
+                "k_of_n", {"k": prototype.k, "n": prototype.n}, kernels=kernels
+            )
         elif type(prototype) is SPRTFilter:
             bank = cls(
                 "sprt",
@@ -415,11 +435,13 @@ class VectorFilterBank:
                     "alpha": prototype.alpha,
                     "beta": prototype.beta,
                 },
+                kernels=kernels,
             )
         elif type(prototype) is CUSUMFilter:
             bank = cls(
                 "cusum",
                 {"drift": prototype.drift, "threshold": prototype.threshold},
+                kernels=kernels,
             )
         else:
             raise ValueError(
@@ -586,17 +608,18 @@ class VectorFilterBank:
         arrays end bit-identical to the gather/scatter kernel's."""
         p = self._pos_sync
         assert p is not None
-        buf = self._buf[:live]
-        delta = raws.astype(np.int64)
-        delta -= buf[:, p]
-        count = self._count[:live]
-        count += delta
-        buf[:, p] = raws
+        self._kernels.k_of_n_lockstep(
+            self._buf[:live],
+            p,
+            raws,
+            self._count[:live],
+            self._active[:live],
+            self.k,
+        )
         advanced = (p + 1) % self.n
         self._pos[:live] = advanced
         self._pos_sync = advanced
         self._updates[:live] += 1
-        np.greater_equal(count, self.k, out=self._active[:live])
 
     def quiescent_all_false(self, sensor_ids: np.ndarray) -> bool:
         """True when all-False updates over this exact id set are pure
@@ -652,25 +675,31 @@ class VectorFilterBank:
 
     def _update_sprt(self, slots: "object", raws: np.ndarray) -> None:
         # ``slots`` is a slot-index array, or a basic slice covering every
-        # live slot in order (same elements either way).
-        llr = self._llr[slots] + np.where(raws, self._log_up, self._log_down)
-        accept_h1 = llr >= self._upper
-        accept_h0 = llr <= self._lower
-        # Scalar precedence: >= upper wins when both thresholds trip.
-        self._active[slots] = np.where(
-            accept_h1, True, np.where(accept_h0, False, self._active[slots])
+        # live slot in order (same elements either way).  The kernel
+        # returns fresh gathered arrays; scatter them back.
+        llr, active = self._kernels.sprt_step(
+            self._llr[slots],
+            raws,
+            self._active[slots],
+            self._log_up,
+            self._log_down,
+            self._upper,
+            self._lower,
         )
-        self._llr[slots] = np.where(accept_h1 | accept_h0, 0.0, llr)
+        self._active[slots] = active
+        self._llr[slots] = llr
 
     def _update_cusum(self, slots: "object", raws: np.ndarray) -> None:
         # ``slots``: see :meth:`_update_sprt`.
-        g = np.maximum(
-            0.0, self._g[slots] + raws.astype(float) - self.drift
+        g, active = self._kernels.cusum_step(
+            self._g[slots],
+            raws,
+            self._active[slots],
+            self.drift,
+            self.threshold,
         )
         self._g[slots] = g
-        self._active[slots] = np.where(
-            g > self.threshold, True, np.where(g == 0.0, False, self._active[slots])
-        )
+        self._active[slots] = active
 
     def update(
         self, window_index: int, raw_by_sensor: Dict[int, bool]

@@ -94,7 +94,16 @@ class StateSet:
     can keep referring to them.
     """
 
-    def __init__(self, initial_vectors: Optional[Sequence[np.ndarray]] = None):
+    def __init__(
+        self,
+        initial_vectors: Optional[Sequence[np.ndarray]] = None,
+        kernels: "Optional[object]" = None,
+    ):
+        from ..backend import get_backend
+
+        #: Distance-kernel implementations (repro.backend.KernelBackend);
+        #: defaults to the NumPy reference backend.
+        self._kernels = kernels if kernels is not None else get_backend("numpy")
         self._states: Dict[int, ModelState] = {}
         self._aliases: Dict[int, int] = {}
         self._next_id = 0
@@ -115,9 +124,12 @@ class StateSet:
         self._pair_matrix: Optional[np.ndarray] = None
         self._pair_ids: Optional[List[int]] = None
         self._pair_dirty: "set[int]" = set()
-        #: Reused (diff, squared-norm) buffers for the distance kernel,
-        #: keyed implicitly by shape (see :meth:`_distances_unguarded`).
-        self._distance_scratch: Optional[tuple] = None
+        #: Owner-private scratch for the distance kernel (the NumPy
+        #: flavor recycles its (diff, squared-norm) buffers in here,
+        #: keyed implicitly by shape).  One dict per StateSet — never
+        #: shared across instances, so interleaving two sets can never
+        #: alias each other's buffers.
+        self._distance_scratch: Dict[str, object] = {}
         #: Certified lower bound on the current minimum pairwise distance,
         #: or ``None`` when unknown.  Set to the found minimum after every
         #: :meth:`closest_pair` scan; an Eq. 6 move of magnitude ``δ`` can
@@ -432,20 +444,18 @@ class StateSet:
         matrix, ids = self._ensure_cache()
         if not ids:
             return np.zeros((points.shape[0], 0)), ids
-        # The (N, M, d) difference tensor and its squared-norm reduction
-        # are scratch: recycle them across calls of the same shape (the
-        # steady fused loop hits one shape for whole stretches).  Only
-        # the returned distance matrix is freshly allocated — callers
-        # hold on to it across further distance queries.
-        shape = (points.shape[0], len(ids), matrix.shape[1])
-        scratch = self._distance_scratch
-        if scratch is None or scratch[0].shape != shape:
-            scratch = (np.empty(shape), np.empty(shape[:2]))
-            self._distance_scratch = scratch
-        diff, sq = scratch
-        np.subtract(points[:, None, :], matrix[None, :, :], out=diff)
-        np.einsum("nmd,nmd->nm", diff, diff, out=sq)
-        return np.sqrt(sq), ids
+        # The kernel lives in the active backend (repro.backend); the
+        # NumPy flavor recycles its (N, M, d) difference tensor and
+        # squared-norm buffer through this instance's private scratch
+        # dict (the steady fused loop hits one shape for whole
+        # stretches).  Only the returned distance matrix is freshly
+        # allocated — callers hold on to it across further queries.
+        return (
+            self._kernels.pairwise_distances(
+                points, matrix, self._distance_scratch
+            ),
+            ids,
+        )
 
     def nearest(self, point: np.ndarray) -> Tuple[ModelState, float]:
         """The live state closest to ``point`` and its distance.

@@ -1,0 +1,162 @@
+"""Zero-copy shared-memory trace transport for campaign workers.
+
+The campaign parent publishes each cached trace's delivered arrays into
+one ``multiprocessing.shared_memory`` segment and hands workers only a
+tiny picklable :class:`ShmTraceDescriptor` — ``(shm_name, offsets,
+shapes, dtypes)`` plus the entry's provenance.  Workers attach the
+segment and rebuild read-only ``np.frombuffer`` views straight into the
+shared pages: no per-task pickling of ``(T, S, d)`` grids, no
+per-worker materialization, and every worker on the host shares one
+physical copy of each trace.
+
+Lifecycle: the parent owns the segments — it creates them per schedule
+chunk and unlinks them once the chunk completes.  Workers only ever
+attach; their attachments are cached per process and die with the
+worker (the pool is torn down at chunk end), at which point the kernel
+reclaims the unlinked pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from ..traces.cache import CachedTrace
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Location of one array inside a shared segment."""
+
+    key: str
+    offset: int
+    shape: Tuple[int, ...]
+    #: ``np.dtype.str`` — endianness-qualified, round-trips exactly.
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ShmTraceDescriptor:
+    """Everything a worker needs to rebuild a :class:`CachedTrace`.
+
+    Small and picklable by construction: names, offsets, and
+    provenance — never the arrays themselves.
+    """
+
+    shm_name: str
+    arrays: Tuple[ShmArraySpec, ...]
+    attribute_names: Tuple[str, ...]
+    metadata: Dict[str, float]
+    ground_truth: Dict[int, str]
+    label: str
+
+
+def publish_entry(
+    entry: CachedTrace,
+) -> "Tuple[shared_memory.SharedMemory, ShmTraceDescriptor]":
+    """Copy one cache entry into a fresh shared segment (parent side).
+
+    The single copy here replaces one materialization *per task per
+    worker*; the caller owns the returned segment and must ``close()``
+    and ``unlink()`` it when its schedule chunk completes.
+    """
+    members = (
+        ("timestamps", np.ascontiguousarray(entry.timestamps)),
+        ("sensor_ids", np.ascontiguousarray(entry.sensor_ids)),
+        ("values", np.ascontiguousarray(entry.values)),
+    )
+    total = sum(array.nbytes for _, array in members)
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    specs = []
+    offset = 0
+    for key, array in members:
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf, offset=offset
+        )
+        view[...] = array
+        specs.append(
+            ShmArraySpec(
+                key=key,
+                offset=offset,
+                shape=tuple(int(x) for x in array.shape),
+                dtype=array.dtype.str,
+            )
+        )
+        offset += array.nbytes
+    descriptor = ShmTraceDescriptor(
+        shm_name=segment.name,
+        arrays=tuple(specs),
+        attribute_names=tuple(entry.attribute_names),
+        metadata=dict(entry.metadata),
+        ground_truth=dict(entry.ground_truth),
+        label=entry.label,
+    )
+    return segment, descriptor
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    Python ≤ 3.12 registers every attach with the ``resource_tracker``
+    (bpo-38119).  Pool workers share the *parent's* tracker — both fork
+    and spawn hand the tracker fd down — so that register is just an
+    idempotent set-add and the parent's ``unlink()`` performs the one
+    real unregister.  Calling ``unregister`` here would strip the
+    parent's registration out from under it (the tracker cache is
+    shared), so the attach is left exactly as-is.
+    """
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+#: Per-process attachment cache: segment name -> SharedMemory.  Workers
+#: re-attach the same trace for retries/neighbouring tasks for free,
+#: and the maps die with the worker process at pool shutdown.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_entry(descriptor: ShmTraceDescriptor) -> CachedTrace:
+    """Rebuild a read-only :class:`CachedTrace` over shared pages.
+
+    Every array is a zero-copy ``np.frombuffer`` view into the mapped
+    segment; nothing is materialized worker-side.
+    """
+    segment = _ATTACHED.get(descriptor.shm_name)
+    if segment is None:
+        segment = _attach_segment(descriptor.shm_name)
+        _ATTACHED[descriptor.shm_name] = segment
+    arrays: Dict[str, np.ndarray] = {}
+    for spec in descriptor.arrays:
+        dtype = np.dtype(spec.dtype)
+        count = 1
+        for extent in spec.shape:
+            count *= int(extent)
+        array = np.frombuffer(
+            segment.buf, dtype=dtype, count=count, offset=spec.offset
+        ).reshape(spec.shape)
+        array.flags.writeable = False
+        arrays[spec.key] = array
+    return CachedTrace(
+        timestamps=arrays["timestamps"],
+        sensor_ids=arrays["sensor_ids"],
+        values=arrays["values"],
+        attribute_names=tuple(descriptor.attribute_names),
+        metadata=dict(descriptor.metadata),
+        ground_truth=dict(descriptor.ground_truth),
+        label=descriptor.label,
+    )
+
+
+def release_segments(segments) -> None:
+    """Close and unlink parent-owned segments (chunk teardown)."""
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        try:
+            segment.unlink()
+        except Exception:  # pragma: no cover - already unlinked
+            pass

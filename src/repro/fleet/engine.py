@@ -286,7 +286,20 @@ class FleetEngine:
     """
 
     def __init__(self, pipelines: Sequence[DetectionPipeline]):
+        from ..backend import get_backend
+
         self.pipelines: List[DetectionPipeline] = list(pipelines)
+        # Fleet-level kernels follow the first tenant's backend (any
+        # choice is safe: backends are bit-identical by contract, and
+        # parity pins it).
+        self._backend = (
+            self.pipelines[0]._backend
+            if self.pipelines
+            else get_backend("numpy")
+        )
+        #: Engine-private scratch for the grouped prepass kernel (never
+        #: shared with tenant pipelines or other engines).
+        self._kernel_scratch: dict = {}
         self._cohorts: Dict[int, _SteadyCohort] = {}
         #: Active-run state for the stepwise API (``begin_run`` /
         #: ``step_once`` / ``end_run``); None between runs.
@@ -548,7 +561,9 @@ class FleetEngine:
                 group = groups.get(key)
                 if group is None:
                     group = groups[key] = _FilterGroup(
-                        VectorFilterBank(key[0], dict(key[1]))
+                        VectorFilterBank(
+                            key[0], dict(key[1]), kernels=self._backend
+                        )
                     )
                 group.members.append(tenant)
                 tenant.group = group
@@ -640,12 +655,16 @@ class FleetEngine:
             elif dims:
                 # Mixed dimensionalities inside one trace: rare enough
                 # to run the tenant's own prepass call.
-                tenant.stats = _batched_window_means(tenant.windows)
+                tenant.stats = _batched_window_means(
+                    tenant.windows, kernels=self._backend
+                )
         for members in by_d.values():
             merged: List = []
             for tenant in members:
                 merged.extend(tenant.windows)
-            stats = _batched_window_means(merged)
+            stats = _batched_window_means(
+                merged, kernels=self._backend, scratch=self._kernel_scratch
+            )
             offset = 0
             for tenant in members:
                 tenant.stats = stats[offset : offset + len(tenant.windows)]
@@ -1259,8 +1278,7 @@ class FleetEngine:
             # identical distances and argmins).
             obs[g, n_rows[g] :] = rows[0]
             states[g, : len(id_lists[g])] = matrices[g]
-        diff = obs[:, :, None, :] - states[:, None, :, :]
-        dist1 = np.sqrt(np.einsum("gnmd,gnmd->gnm", diff, diff))
+        dist1 = self._backend.batched_distances(obs, states)
         # _spawn_far_observations' gate over the same floats: a tenant
         # whose max-min distance clears the threshold might spawn and
         # leaves the batch untouched.
@@ -1306,8 +1324,7 @@ class FleetEngine:
             points[row, n + 1 :] = stat[4]
             matrix, ids = post_states[row]
             states2[row, : len(ids)] = matrix
-        diff2 = points[:, :, None, :] - states2[:, None, :, :]
-        dist2 = np.sqrt(np.einsum("gnmd,gnmd->gnm", diff2, diff2))
+        dist2 = self._backend.batched_distances(points, states2)
         cols2 = dist2.argmin(axis=2).tolist()
 
         for row, (g, tenant, assignments, merged) in enumerate(survivors):

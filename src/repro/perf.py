@@ -22,6 +22,7 @@ import os
 import platform
 import tempfile
 import time
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -62,6 +63,105 @@ PRE_OPTIMIZATION_BASELINE = {
 
 DEFAULT_OUTPUT = "BENCH_pipeline.json"
 DEFAULT_TOLERANCE = 0.30
+
+
+@contextmanager
+def _pinned_threads(limit: int = 1):
+    """Pin BLAS/OpenMP pool sizes for the duration of the timing loops.
+
+    Kernel timings on shared CI runners otherwise wander with whatever
+    thread count the BLAS picked at import time (and oversubscribe the
+    campaign benches, whose parallelism lives in processes).  Yields
+    True when a real pin was applied, False when ``threadpoolctl`` is
+    unavailable and the run proceeds unpinned — timing must degrade,
+    never fail, on a lean interpreter.
+    """
+    try:
+        from threadpoolctl import threadpool_limits
+    except Exception:
+        yield False
+        return
+    with threadpool_limits(limits=limit):
+        yield True
+
+
+def _blas_info() -> Dict[str, object]:
+    """Best-effort BLAS/LAPACK identification from numpy's build config."""
+    try:
+        config = np.show_config(mode="dicts")
+        dependencies = config.get("Build Dependencies", {})
+        info: Dict[str, object] = {}
+        for lib in ("blas", "lapack"):
+            entry = dependencies.get(lib)
+            if isinstance(entry, dict):
+                info[lib] = {
+                    "name": entry.get("name"),
+                    "version": entry.get("version"),
+                }
+        return info
+    except Exception:  # pragma: no cover - older numpy without dicts mode
+        return {}
+
+
+def _threadpool_info() -> "Optional[List[Dict[str, object]]]":
+    """Live thread-pool inventory via threadpoolctl, when installed."""
+    try:
+        from threadpoolctl import threadpool_info
+    except Exception:
+        return None
+    try:
+        return [
+            {
+                "api": pool.get("internal_api"),
+                "prefix": pool.get("prefix"),
+                "num_threads": pool.get("num_threads"),
+            }
+            for pool in threadpool_info()
+        ]
+    except Exception:  # pragma: no cover - introspection failure
+        return None
+
+
+def _numba_version() -> "Optional[str]":
+    try:
+        import numba
+
+        return str(numba.__version__)
+    except Exception:
+        return None
+
+
+def environment_info(threads_pinned: bool = False) -> Dict[str, object]:
+    """The bench ``environment`` block: toolchain + threading context.
+
+    Records everything needed to interpret a timing delta between two
+    bench files: interpreter and numpy versions, which BLAS numpy was
+    built against, the live thread pools, the numba version actually
+    driving the compiled backend (null on fallback), and the thread-
+    count environment pins in effect.
+    """
+    from .backend import numba_available
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": _numba_version(),
+        "numba_available": numba_available(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "blas": _blas_info(),
+        "threadpools": _threadpool_info(),
+        "thread_env": {
+            key: os.environ.get(key)
+            for key in (
+                "OMP_NUM_THREADS",
+                "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS",
+                "NUMBA_NUM_THREADS",
+            )
+        },
+        "threads_pinned_during_timing": threads_pinned,
+    }
 
 
 def _best_of(repeats: int, run: Callable[[], object]) -> float:
@@ -702,20 +802,172 @@ def bench_fleet_degradation(
     }
 
 
+def bench_backends(repeats: int = 5) -> Dict[str, object]:
+    """numpy vs compiled per-kernel cost on the three ported hot paths.
+
+    Times each registry kernel on representative shapes under both
+    backends (after a warm-up call so JIT compilation never lands in a
+    timing), and pins cross-backend correctness with a short fused run
+    whose digest must be identical under ``backend="numpy"`` and
+    ``backend="compiled"``.  On a runner without numba the "compiled"
+    column measures the numpy fallback (flavor recorded), so speedups
+    hover around 1.0 by construction.
+    """
+    import warnings
+
+    from . import DetectionPipeline, PipelineConfig
+    from .backend import get_backend, numba_available
+
+    numpy_backend = get_backend("numpy")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        compiled = get_backend("compiled")
+
+    rng = np.random.default_rng(11)
+    n_rows, n_groups, d = 4000, 400, 2
+    keys = np.sort(rng.integers(0, n_groups, n_rows)).astype(np.int64)
+    weights = rng.normal(size=(n_rows, d))
+    points = rng.normal(size=(64, d))
+    matrix = rng.normal(size=(24, d))
+    g_obs = rng.normal(size=(16, 40, d))
+    g_states = rng.normal(size=(16, 24, d))
+    n_lanes = 512
+    buf = rng.integers(0, 2, (n_lanes, 5)).astype(np.int64)
+    raws = rng.random(n_lanes) < 0.3
+    count = buf.sum(axis=1)
+    active = count >= 3
+    llr = rng.normal(size=n_lanes)
+    g_scores = np.abs(rng.normal(size=n_lanes))
+
+    workloads = {
+        "grouped_sums": lambda k: k.grouped_sums(keys, weights, n_groups),
+        "pairwise_distances": lambda k: k.pairwise_distances(points, matrix),
+        "batched_distances": lambda k: k.batched_distances(g_obs, g_states),
+        "k_of_n_lockstep": lambda k: k.k_of_n_lockstep(
+            buf.copy(), 2, raws, count.copy(), active.copy(), 3
+        ),
+        "sprt_step": lambda k: k.sprt_step(
+            llr, raws, active, 1.5, -0.7, 2.2, -2.2
+        ),
+        "cusum_step": lambda k: k.cusum_step(g_scores, raws, active, 0.5, 4.0),
+    }
+    kernels: Dict[str, object] = {}
+    for name, call in workloads.items():
+        row: Dict[str, object] = {}
+        for label, backend in (("numpy", numpy_backend), ("compiled", compiled)):
+            call(backend)  # warm-up: JIT compile outside the timing
+            row[f"{label}_us"] = round(
+                _best_of(repeats, lambda: call(backend)) * 1e6, 2
+            )
+        row["speedup"] = round(row["numpy_us"] / max(row["compiled_us"], 1e-9), 2)
+        kernels[name] = row
+
+    from .traces import GDITraceConfig, generate_gdi_trace_columnar
+
+    trace = generate_gdi_trace_columnar(GDITraceConfig(n_days=1, seed=7))
+    digests = {}
+    for label in ("numpy", "compiled"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            pipeline = DetectionPipeline(PipelineConfig(backend=label))
+        pipeline.process_trace_fast(trace)
+        digests[label] = pipeline.digest_metadata()
+    parity = digests["numpy"]["digest"] == digests["compiled"]["digest"]
+    if not parity:  # pragma: no cover - backend correctness violation
+        raise AssertionError("compiled backend diverged from numpy digests")
+    return {
+        "numba_available": numba_available(),
+        "flavors": {"numpy": numpy_backend.flavor, "compiled": compiled.flavor},
+        "kernels": kernels,
+        "digest_parity": parity,
+        "digest_metadata": digests,
+    }
+
+
+def bench_parallel_scaling(
+    max_workers: Optional[int] = None, n_days: int = 3, seed: int = 2003
+) -> Dict[str, object]:
+    """Campaign wall-clock vs worker count over shared-memory traces.
+
+    Pre-populates a throwaway cache with a serial cold pass, measures a
+    serial hot pass as the baseline, then sweeps worker counts (always
+    including 1) through :func:`run_campaign`'s pool + shared-memory
+    path.  Every point must reproduce the serial digests bit-for-bit;
+    efficiency is ``serial / (workers * wall)``.  The ``n_workers=1``
+    point runs the same inline path as the baseline, so it differs from
+    ``serial_seconds`` only by timing noise.
+    """
+    from .experiments.runner import ScenarioSpec, run_campaign
+
+    names = ["clean", "stuck_at", "calibration", "additive"]
+    specs = [ScenarioSpec(name, n_days=n_days, seed=seed) for name in names]
+    cpu_count = os.cpu_count() or 1
+    limit = max_workers or max(min(cpu_count, 4), 1)
+    workers = sorted({1, *range(2, limit + 1)})
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as cache_dir:
+        run_campaign(specs, n_jobs=1, cache_dir=cache_dir)  # populate cache
+
+        start = time.perf_counter()
+        serial = run_campaign(specs, n_jobs=1, cache_dir=cache_dir)
+        serial_seconds = time.perf_counter() - start
+        serial_digests = [o.digest for o in serial.outcomes]
+
+        curve = []
+        for n_workers in workers:
+            start = time.perf_counter()
+            report = run_campaign(specs, n_jobs=n_workers, cache_dir=cache_dir)
+            wall = time.perf_counter() - start
+            if [o.digest for o in report.outcomes] != serial_digests:
+                # pragma: no cover - parallelism correctness violation
+                raise AssertionError(
+                    f"n_workers={n_workers} campaign diverged from serial"
+                )
+            curve.append(
+                {
+                    "n_workers": n_workers,
+                    "seconds": round(wall, 3),
+                    "speedup": round(serial_seconds / wall, 2),
+                    "efficiency": round(
+                        serial_seconds / (n_workers * wall), 2
+                    ),
+                }
+            )
+    return {
+        "scenarios": names,
+        "n_days": n_days,
+        "seed": seed,
+        "cpu_count": cpu_count,
+        "serial_seconds": round(serial_seconds, 3),
+        "curve": curve,
+        "digest_parity": True,
+    }
+
+
 def run_bench(
     n_jobs: Optional[int] = None, repeats: int = 3
 ) -> Dict[str, object]:
     """Measure everything and assemble the BENCH_pipeline.json payload."""
-    trace_generation = bench_trace_generation(repeats=repeats)
-    filter_bank = bench_filter_bank(repeats=max(repeats, 5))
-    fleet = bench_fleet(repeats=max(repeats - 1, 2))
-    fleet_degradation = bench_fleet_degradation()
+    with _pinned_threads() as threads_pinned:
+        trace_generation = bench_trace_generation(repeats=repeats)
+        filter_bank = bench_filter_bank(repeats=max(repeats, 5))
+        fleet = bench_fleet(repeats=max(repeats - 1, 2))
+        fleet_degradation = bench_fleet_degradation()
+        backend = bench_backends(repeats=max(repeats, 5))
+        parallel_scaling = bench_parallel_scaling()
+        pipeline_us = round(bench_pipeline(repeats=repeats), 1)
+        fused_us = round(bench_fused_pipeline(repeats=max(repeats, 5)), 1)
+        hmm_us = round(bench_hmm_update(repeats=max(repeats, 5)), 2)
+        clusterer_us = round(bench_clusterer_update(repeats=repeats), 1)
+        campaign = bench_campaign(n_jobs=n_jobs)
+        cache = bench_cache()
+        recovery = bench_recovery()
     return {
-        "schema": 6,
-        "pipeline_us_per_window": round(bench_pipeline(repeats=repeats), 1),
-        "fused_pipeline_us_per_window": round(
-            bench_fused_pipeline(repeats=max(repeats, 5)), 1
-        ),
+        "schema": 7,
+        "backend": backend,
+        "parallel_scaling": parallel_scaling,
+        "pipeline_us_per_window": pipeline_us,
+        "fused_pipeline_us_per_window": fused_us,
         "fleet_us_per_deployment_window": fleet[
             "fleet_us_per_deployment_window"
         ],
@@ -724,21 +976,17 @@ def run_bench(
             "isolated_us_per_deployment_window"
         ],
         "fleet_degradation": fleet_degradation,
-        "hmm_update_us": round(bench_hmm_update(repeats=max(repeats, 5)), 2),
-        "clusterer_update_us": round(bench_clusterer_update(repeats=repeats), 1),
+        "hmm_update_us": hmm_us,
+        "clusterer_update_us": clusterer_us,
         "filter_bank_us": filter_bank["vector_us_per_window"],
         "filter_bank": filter_bank,
         "trace_gen_us_per_window": trace_generation["columnar_us_per_window"],
         "trace_generation": trace_generation,
-        "campaign": bench_campaign(n_jobs=n_jobs),
-        "cache": bench_cache(),
-        "recovery": bench_recovery(),
+        "campaign": campaign,
+        "cache": cache,
+        "recovery": recovery,
         "baseline_pre_optimization": dict(PRE_OPTIMIZATION_BASELINE),
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-        },
+        "environment": environment_info(threads_pinned=threads_pinned),
     }
 
 
@@ -825,6 +1073,29 @@ def render(result: Dict[str, object]) -> str:
             f"{faulted['quarantined']} quarantined, "
             f"{faulted['readmitted']} readmitted, survivors {survivors}"
         )
+    backend = result.get("backend")
+    if backend:
+        flavor = backend["flavors"]["compiled"]
+        points = ", ".join(
+            f"{name}: {row['numpy_us']}->{row['compiled_us']} us "
+            f"({row['speedup']}x)"
+            for name, row in backend["kernels"].items()
+        )
+        lines.append(
+            f"  backend numpy vs compiled ({flavor} flavor, parity "
+            f"{'OK' if backend['digest_parity'] else 'FAIL'}): {points}"
+        )
+    scaling = result.get("parallel_scaling")
+    if scaling:
+        points = ", ".join(
+            f"{point['n_workers']}w: {point['seconds']}s "
+            f"(eff {point['efficiency']})"
+            for point in scaling["curve"]
+        )
+        lines.append(
+            f"  parallel scaling (serial {scaling['serial_seconds']}s, "
+            f"{scaling['cpu_count']} cpu): {points}"
+        )
     campaign_speedup = (
         f"{campaign['speedup']}x"
         if campaign.get("speedup") is not None
@@ -859,7 +1130,7 @@ def render(result: Dict[str, object]) -> str:
 
 
 def parity_command(
-    n_days: int = 3, seed: int = 7
+    n_days: int = 3, seed: int = 7, backend: str = "numpy"
 ) -> "tuple[str, int]":
     """The ``repro parity`` implementation: (report text, exit code).
 
@@ -869,7 +1140,9 @@ def parity_command(
     every supervisor mode, and demands exact equality of the campaign
     digest, the JSON snapshot, and each per-window result.  Any
     mismatch is a correctness bug in the fused engine, so the exit
-    code is non-zero and CI blocks on it.
+    code is non-zero and CI blocks on it.  ``backend`` selects the
+    kernel backend for *both* sides, so ``--backend compiled`` pins
+    every compiled kernel against the oracle bit-for-bit.
     """
     from . import DetectionPipeline, PipelineConfig
     from .traces import GDITraceConfig, generate_gdi_trace_columnar
@@ -877,11 +1150,16 @@ def parity_command(
     trace = generate_gdi_trace_columnar(
         GDITraceConfig(n_days=n_days, seed=seed)
     )
-    lines = [f"fused-vs-oracle parity: {n_days} days, seed {seed}"]
+    lines = [
+        f"fused-vs-oracle parity: {n_days} days, seed {seed}, "
+        f"backend {backend}"
+    ]
     ok = True
     for kind in ("k_of_n", "sprt", "cusum"):
         for mode in ("off", "warn", "repair"):
-            config = PipelineConfig(filter_kind=kind, supervisor_mode=mode)
+            config = PipelineConfig(
+                filter_kind=kind, supervisor_mode=mode, backend=backend
+            )
             oracle = DetectionPipeline(config)
             fused = DetectionPipeline(config)
             oracle_results = oracle.process_trace(trace)
@@ -945,7 +1223,7 @@ def _synthetic_dim_trace(
 
 
 def fleet_parity_command(
-    n_tenants: int = 18, n_days: int = 2
+    n_tenants: int = 18, n_days: int = 2, backend: str = "numpy"
 ) -> "tuple[str, int]":
     """The ``repro parity --fleet`` implementation: (report, exit code).
 
@@ -954,7 +1232,9 @@ def fleet_parity_command(
     3, and unequal trace lengths — into one :class:`FleetEngine` and
     demands that every tenant finishes bit-identical (digest, JSON
     snapshot, and per-window results) to its own independent
-    ``process_windows_fast`` run.
+    ``process_windows_fast`` run.  ``backend`` selects the kernel
+    backend for both sides (``--backend compiled`` pins the batched
+    compiled kernels).
     """
     from . import DetectionPipeline, PipelineConfig
     from .fleet import FleetEngine
@@ -968,7 +1248,9 @@ def fleet_parity_command(
         kind = kinds[tid % 3]
         mode = modes[(tid // 3) % 3]
         n_sensors = 6 + (tid % 7)
-        config = PipelineConfig(filter_kind=kind, supervisor_mode=mode)
+        config = PipelineConfig(
+            filter_kind=kind, supervisor_mode=mode, backend=backend
+        )
         if tid % 6 == 5:
             dims = 1 + (tid // 6) % 3
             windows = _synthetic_dim_trace(
@@ -996,7 +1278,8 @@ def fleet_parity_command(
     engine.process_windows([windows for _, windows in tenants])
 
     lines = [
-        f"fleet-vs-independent parity: {n_tenants} heterogeneous tenants"
+        f"fleet-vs-independent parity: {n_tenants} heterogeneous "
+        f"tenants, backend {backend}"
     ]
     ok = True
     for tid, (reference, packed) in enumerate(

@@ -1,0 +1,155 @@
+"""Shared-memory campaign transport: round-trips, lifetime, parity.
+
+The campaign parent publishes cached traces into shared-memory
+segments and workers replay them from tiny descriptors; everything
+here pins the two contracts that makes that safe — the views are
+zero-copy and read-only, and a shm-backed pool campaign reproduces the
+serial digests bit-for-bit (with ``from_cache`` still reporting hits,
+which the CLI's cache stats line is computed from).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments import ScenarioSpec
+from repro.experiments.runner import (
+    resolve_chunk_size,
+    run_campaign,
+)
+from repro.experiments.shm import (
+    attach_entry,
+    publish_entry,
+    release_segments,
+)
+from repro.traces.cache import CachedTrace
+
+
+@pytest.fixture
+def entry():
+    rng = np.random.default_rng(17)
+    return CachedTrace(
+        timestamps=np.arange(30.0) * 60.0,
+        sensor_ids=np.tile(np.arange(3, dtype=np.int64), 10),
+        values=rng.normal(size=(30, 2)),
+        attribute_names=("temperature", "humidity"),
+        metadata={"n_days": 1.0},
+        ground_truth={2: "stuck-at"},
+        label="demo",
+    )
+
+
+class TestPublishAttach:
+    def test_round_trip_preserves_everything(self, entry):
+        segment, descriptor = publish_entry(entry)
+        try:
+            back = attach_entry(descriptor)
+            assert np.array_equal(back.timestamps, entry.timestamps)
+            assert np.array_equal(back.sensor_ids, entry.sensor_ids)
+            assert np.array_equal(back.values, entry.values)
+            assert back.timestamps.dtype == entry.timestamps.dtype
+            assert back.sensor_ids.dtype == entry.sensor_ids.dtype
+            assert back.attribute_names == entry.attribute_names
+            assert back.metadata == entry.metadata
+            assert back.ground_truth == entry.ground_truth
+            assert back.label == entry.label
+        finally:
+            release_segments([segment])
+
+    def test_attached_views_are_zero_copy_and_read_only(self, entry):
+        segment, descriptor = publish_entry(entry)
+        try:
+            back = attach_entry(descriptor)
+            for array in (back.timestamps, back.sensor_ids, back.values):
+                assert not array.flags.owndata
+                assert not array.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                back.values[0, 0] = 99.0
+        finally:
+            release_segments([segment])
+
+    def test_descriptor_is_small_and_picklable(self, entry):
+        """Workers receive offsets and names, never the grids."""
+        segment, descriptor = publish_entry(entry)
+        try:
+            payload = pickle.dumps(descriptor)
+            assert len(payload) < 2048
+            assert pickle.loads(payload) == descriptor
+        finally:
+            release_segments([segment])
+
+    def test_release_is_idempotent(self, entry):
+        segment, _ = publish_entry(entry)
+        release_segments([segment])
+        release_segments([segment])  # second unlink must not raise
+
+
+class TestChunkSizing:
+    def test_default_keeps_small_campaigns_single_chunk(self):
+        assert resolve_chunk_size(None, 2) == 8
+        assert resolve_chunk_size(None, 4) == 16
+
+    def test_explicit_chunk_size_wins(self):
+        assert resolve_chunk_size(3, 8) == 3
+
+
+class TestShmCampaignParity:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return [
+            ScenarioSpec("clean", n_days=2, seed=7),
+            ScenarioSpec("stuck_at", n_days=2, seed=7),
+        ]
+
+    def test_hot_pool_campaign_matches_serial(self, tmp_path, specs):
+        cache_dir = tmp_path / "cache"
+        cold = run_campaign(specs, n_jobs=2, cache_dir=cache_dir)
+        assert [o.from_cache for o in cold.outcomes] == [False, False]
+
+        serial = run_campaign(specs, n_jobs=1, cache_dir=cache_dir)
+        hot = run_campaign(specs, n_jobs=2, cache_dir=cache_dir)
+        # The shm replay path must still report cache hits — the CLI
+        # cache stats line is computed from these flags.
+        assert [o.from_cache for o in hot.outcomes] == [True, True]
+        assert [o.digest for o in hot.outcomes] == [
+            o.digest for o in serial.outcomes
+        ]
+        assert [o.digest for o in cold.outcomes] == [
+            o.digest for o in serial.outcomes
+        ]
+
+    def test_chunked_scheduling_matches_serial(self, tmp_path, specs):
+        cache_dir = tmp_path / "cache"
+        serial = run_campaign(specs, n_jobs=1, cache_dir=cache_dir)
+        chunked = run_campaign(
+            specs, n_jobs=2, cache_dir=cache_dir, chunk_size=1
+        )
+        assert [o.digest for o in chunked.outcomes] == [
+            o.digest for o in serial.outcomes
+        ]
+        assert [o.from_cache for o in chunked.outcomes] == [True, True]
+
+    def test_shm_disabled_still_matches(self, tmp_path, specs):
+        cache_dir = tmp_path / "cache"
+        serial = run_campaign(specs, n_jobs=1, cache_dir=cache_dir)
+        plain = run_campaign(
+            specs, n_jobs=2, cache_dir=cache_dir, use_shared_memory=False
+        )
+        assert [o.digest for o in plain.outcomes] == [
+            o.digest for o in serial.outcomes
+        ]
+        assert [o.from_cache for o in plain.outcomes] == [True, True]
+
+    def test_no_segments_leak(self, tmp_path, specs):
+        from pathlib import Path
+
+        shm_root = Path("/dev/shm")
+        if not shm_root.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        before = set(shm_root.glob("psm_*"))
+        cache_dir = tmp_path / "cache"
+        run_campaign(specs, n_jobs=1, cache_dir=cache_dir)
+        run_campaign(specs, n_jobs=2, cache_dir=cache_dir)
+        leaked = set(shm_root.glob("psm_*")) - before
+        assert not leaked
